@@ -1,0 +1,35 @@
+"""Figure 6: local/remote communication on M3v vs Linux primitives."""
+
+from conftest import paper_scale, print_table
+
+from repro.core.exps.fig6 import Fig6Params, run_fig6
+
+PAPER = {  # k cycles, read off Figure 6 / section 6.2
+    "linux_yield_2x": 5.8, "linux_syscall": 1.8,
+    "m3v_local": 5.0, "m3v_remote": 1.9,
+}
+
+
+def params():
+    if paper_scale():
+        return Fig6Params(iterations=1000, warmup=50)
+    return Fig6Params(iterations=150, warmup=15)
+
+
+def test_fig6_microbenchmarks(benchmark):
+    rows_data = benchmark.pedantic(run_fig6, args=(params(),),
+                                   rounds=1, iterations=1)
+    rows = [f"{'primitive':16s} {'us':>8s} {'kcycles':>8s} {'paper kcy':>10s}"]
+    for name, row in rows_data.items():
+        rows.append(f"{name:16s} {row['us']:8.1f} {row['kcycles']:8.2f} "
+                    f"{PAPER[name]:10.1f}")
+    print_table("Figure 6: local/remote communication", rows)
+
+    # shape assertions: remote RPC ~ syscall; local RPC ~ 2x yield and
+    # several times more expensive than remote
+    assert 0.5 <= rows_data["m3v_remote"]["kcycles"] / \
+        rows_data["linux_syscall"]["kcycles"] <= 1.5
+    assert 0.6 <= rows_data["m3v_local"]["kcycles"] / \
+        rows_data["linux_yield_2x"]["kcycles"] <= 1.4
+    assert rows_data["m3v_local"]["kcycles"] > \
+        2.5 * rows_data["m3v_remote"]["kcycles"]

@@ -1,0 +1,29 @@
+"""Figure 7: file read/write throughput, M3v shared/isolated vs Linux."""
+
+from conftest import paper_scale, print_table
+
+from repro.core.exps.fig7 import Fig7Params, run_fig7
+
+
+def params():
+    if paper_scale():
+        return Fig7Params()  # 2 MiB files, 10 runs + 4 warmup
+    return Fig7Params(file_bytes=512 * 1024, runs=2, warmup=1)
+
+
+def test_fig7_fs_throughput(benchmark):
+    rows_data = benchmark.pedantic(run_fig7, args=(params(),),
+                                   rounds=1, iterations=1)
+    rows = [f"{name:20s} {mibs:8.1f} MiB/s"
+            for name, mibs in rows_data.items()]
+    print_table("Figure 7: file read/write throughput", rows)
+
+    # shape assertions from section 6.3
+    # 1) M3v beats Linux with and without tile sharing
+    assert rows_data["m3v_read_shared"] > rows_data["linux_read"]
+    assert rows_data["m3v_write_shared"] > rows_data["linux_write"]
+    # 2) writes are much slower than reads on both systems
+    assert rows_data["linux_write"] < 0.85 * rows_data["linux_read"]
+    assert rows_data["m3v_write_isolated"] < rows_data["m3v_read_isolated"]
+    # 3) tile sharing costs some throughput (extent RPCs become local)
+    assert rows_data["m3v_read_shared"] <= rows_data["m3v_read_isolated"]

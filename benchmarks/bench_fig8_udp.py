@@ -1,0 +1,25 @@
+"""Figure 8: UDP round-trip latency, M3v shared/isolated vs Linux."""
+
+from conftest import paper_scale, print_table
+
+from repro.core.exps.fig8 import Fig8Params, run_fig8
+
+
+def params():
+    if paper_scale():
+        return Fig8Params()  # 50 repetitions + 5 warmup
+    return Fig8Params(repetitions=15, warmup=3)
+
+
+def test_fig8_udp_latency(benchmark):
+    rows_data = benchmark.pedantic(run_fig8, args=(params(),),
+                                   rounds=1, iterations=1)
+    rows = [f"{name:14s} {us:8.1f} us RTT" for name, us in rows_data.items()]
+    print_table("Figure 8: UDP latency (1-byte echo)", rows)
+
+    # shape: with tile sharing M3v is competitive with Linux; isolated
+    # placement (not comparable to Linux, shown for completeness) is
+    # faster than shared
+    assert rows_data["m3v_isolated"] < rows_data["m3v_shared"]
+    assert rows_data["m3v_shared"] / rows_data["linux"] < 1.6
+    assert rows_data["m3v_shared"] / rows_data["linux"] > 0.6

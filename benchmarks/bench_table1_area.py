@@ -1,0 +1,48 @@
+"""Table 1: FPGA area consumption of the platform components."""
+
+from conftest import print_table
+
+from repro.dtu.params import DtuParams
+from repro.hw import complexity_report, estimate_vdtu_area, table1
+
+
+def test_table1_area(benchmark):
+    model = benchmark(table1)
+    rows = [f"{'Component':28s} {'LUTs[k]':>8s} {'FFs[k]':>7s} {'BRAMs':>6s}"]
+    for row in model.table_rows():
+        rows.append(f"{row['component']:28s} {row['kluts']:8.1f} "
+                    f"{row['kffs']:7.1f} {row['brams']:6.1f}")
+    rows.append("")
+    rows.append(f"vDTU / BOOM LUTs:   {model.vdtu_fraction_of('BOOM'):.1%} "
+                f"(paper: 10.6%)")
+    rows.append(f"vDTU / Rocket LUTs: {model.vdtu_fraction_of('Rocket'):.1%} "
+                f"(paper: 32.6%)")
+    rows.append(f"virtualization logic overhead: "
+                f"{model.virtualization_overhead():.1%} (paper: ~6%)")
+    print_table("Table 1: FPGA area consumption", rows)
+    assert abs(model.vdtu_fraction_of("BOOM") - 0.106) < 0.002
+
+
+def test_table1_area_scaling(benchmark):
+    """Design-space view: vDTU area vs endpoint count."""
+    def sweep():
+        return {n: estimate_vdtu_area(DtuParams(num_endpoints=n))
+                for n in (16, 32, 64, 128, 256)}
+
+    areas = benchmark(sweep)
+    rows = [f"{n:4d} endpoints: {a:5.1f} kLUTs" for n, a in areas.items()]
+    print_table("vDTU area vs endpoint count (analytical)", rows)
+    assert areas[128] == round(table1()["vDTU"].kluts, 4)
+
+
+def test_section61_sloc(benchmark):
+    report = benchmark(complexity_report)
+    rows = []
+    for role in ("controller", "tilemux"):
+        r = report[role]
+        rows.append(f"{role:11s} paper {r['paper_sloc']:6d} SLOC (Rust)  "
+                    f"this repo {r['ours_sloc']:6d} SLOC (Python)")
+    ratio = report["tilemux_to_controller_ratio"]
+    rows.append(f"tilemux/controller ratio: paper {ratio['paper']:.2f}, "
+                f"ours {ratio['ours']:.2f}")
+    print_table("Section 6.1: software complexity", rows)

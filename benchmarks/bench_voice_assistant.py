@@ -1,0 +1,25 @@
+"""Section 6.5.1: voice assistant — tile-sharing overhead."""
+
+from conftest import paper_scale, print_table
+
+from repro.core.exps.voice import VoiceParams, run_voice
+
+
+def params():
+    if paper_scale():
+        return VoiceParams(triggers=8, repetitions=2)
+    return VoiceParams(triggers=4, repetitions=1)
+
+
+def test_voice_assistant_sharing_overhead(benchmark):
+    data = benchmark.pedantic(run_voice, args=(params(),),
+                              rounds=1, iterations=1)
+    rows = [
+        f"isolated: {data['isolated_ms']:8.1f} ms   (paper: 384 ms)",
+        f"shared:   {data['shared_ms']:8.1f} ms   (paper: 398 ms)",
+        f"sharing overhead: {data['overhead_pct']:.1f}%  (paper: 3.6%)",
+    ]
+    print_table("Voice assistant (section 6.5.1)", rows)
+
+    # sharing all components on one core costs a few percent, not more
+    assert 0 < data["overhead_pct"] < 15

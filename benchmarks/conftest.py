@@ -1,0 +1,26 @@
+"""Shared benchmark plumbing.
+
+Every benchmark prints the table/figure it regenerates.  By default the
+workloads are scaled down so the whole suite runs in minutes; set
+``REPRO_PAPER_SCALE=1`` to run the paper's full parameters (slower, but
+the numbers then correspond to EXPERIMENTS.md's full-scale column).
+"""
+
+import os
+
+import pytest
+
+
+def paper_scale() -> bool:
+    return os.environ.get("REPRO_PAPER_SCALE", "0") == "1"
+
+
+@pytest.fixture
+def scale():
+    return paper_scale()
+
+
+def print_table(title: str, rows):
+    print(f"\n=== {title} ===")
+    for line in rows:
+        print("  " + line)

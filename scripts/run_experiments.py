@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Run every experiment at (near) paper scale and dump JSON for
+EXPERIMENTS.md.  Figure 9 uses the full-size traces; the other
+experiments use the paper's parameters directly.
+"""
+
+import json
+import sys
+import time
+
+from repro.core.exps.fig6 import Fig6Params, run_fig6
+from repro.core.exps.fig7 import Fig7Params, run_fig7
+from repro.core.exps.fig8 import Fig8Params, run_fig8
+from repro.core.exps.fig9 import Fig9Params, _throughput
+from repro.core.exps.fig10 import Fig10Params, run_fig10
+from repro.core.exps.voice import VoiceParams, run_voice
+from repro.core.platform import build_m3v, build_m3x
+from repro.hw import complexity_report, table1
+
+
+def main(out_path: str) -> None:
+    results = {}
+    t0 = time.time()
+
+    def stamp(name):
+        print(f"[{time.time() - t0:7.1f}s] {name}", flush=True)
+
+    stamp("table 1")
+    model = table1()
+    results["table1"] = {
+        "vdtu_kluts": model["vDTU"].kluts,
+        "vdtu_of_boom": model.vdtu_fraction_of("BOOM"),
+        "vdtu_of_rocket": model.vdtu_fraction_of("Rocket"),
+        "virt_overhead": model.virtualization_overhead(),
+        "sloc": complexity_report(),
+    }
+
+    stamp("figure 6")
+    results["fig6"] = run_fig6(Fig6Params(iterations=1000, warmup=50))
+
+    stamp("figure 7")
+    results["fig7"] = run_fig7(Fig7Params())  # 2 MiB, 10 runs + 4 warmup
+
+    stamp("figure 8")
+    results["fig8"] = run_fig8(Fig8Params())  # 50 reps + 5 warmup
+
+    stamp("figure 9 (full traces)")
+    fig9 = {}
+    for trace in ("find", "sqlite"):
+        p = Fig9Params(trace=trace, runs=2)
+        fig9[trace] = {
+            "m3v": {n: _throughput(build_m3v, n, p) for n in p.tile_counts},
+            "m3x": {n: _throughput(build_m3x, n, p) for n in p.tile_counts},
+        }
+        stamp(f"  {trace} done")
+    results["fig9"] = fig9
+
+    stamp("figure 10 (200 records / 200 ops, 2 runs + 1 warmup)")
+    results["fig10"] = run_fig10(Fig10Params(runs=2, warmup=1))
+
+    stamp("voice assistant")
+    results["voice"] = run_voice(VoiceParams(triggers=8, repetitions=1))
+
+    with open(out_path, "w") as handle:
+        json.dump(results, handle, indent=2, default=str)
+    stamp(f"written to {out_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "experiment_results.json")

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that editable installs work in offline
+environments whose pip/setuptools cannot build PEP 517 wheels (no
+``wheel`` package available): ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

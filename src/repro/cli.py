@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``area``      print Table 1 and the derived ratios
+``sloc``      print the section-6.1 complexity report
+``fig6|fig7|fig8|fig9|fig10|voice``
+              run one experiment (shortened workloads; ``--paper`` for
+              the full parameters) and print its ASCII figure
+``report <results.json>``
+              render a full run_experiments.py dump + shape checks
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.report import bar_chart, render_report, shape_checks
+
+
+def _cmd_area(_args) -> int:
+    from repro.hw import table1
+
+    model = table1()
+    print(f"{'Component':28s} {'LUTs[k]':>8s} {'FFs[k]':>7s} {'BRAMs':>6s}")
+    for row in model.table_rows():
+        print(f"{row['component']:28s} {row['kluts']:8.1f} "
+              f"{row['kffs']:7.1f} {row['brams']:6.1f}")
+    print(f"\nvDTU / BOOM:   {model.vdtu_fraction_of('BOOM'):.1%}")
+    print(f"vDTU / Rocket: {model.vdtu_fraction_of('Rocket'):.1%}")
+    print(f"virtualization overhead: {model.virtualization_overhead():.1%}")
+    return 0
+
+
+def _cmd_sloc(_args) -> int:
+    from repro.hw import complexity_report
+
+    report = complexity_report()
+    for role in ("controller", "tilemux"):
+        r = report[role]
+        print(f"{role:11s} paper {r['paper_sloc']:6d} SLOC   "
+              f"this repo {r['ours_sloc']:6d} SLOC")
+    ratio = report["tilemux_to_controller_ratio"]
+    print(f"ratio tilemux/controller: paper {ratio['paper']:.2f} / "
+          f"ours {ratio['ours']:.2f}")
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.core.exps.fig6 import Fig6Params, run_fig6
+
+    p = Fig6Params() if args.paper else Fig6Params(iterations=150, warmup=15)
+    rows = run_fig6(p)
+    print(bar_chart("Figure 6 — no-op round trips (k cycles)",
+                    {k: v["kcycles"] for k, v in rows.items()}, unit="kcy"))
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    from repro.core.exps.fig7 import Fig7Params, run_fig7
+
+    p = Fig7Params() if args.paper else Fig7Params(file_bytes=512 * 1024,
+                                                   runs=2, warmup=1)
+    print(bar_chart("Figure 7 — file throughput (MiB/s)", run_fig7(p),
+                    unit="MiB/s"))
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    from repro.core.exps.fig8 import Fig8Params, run_fig8
+
+    p = Fig8Params() if args.paper else Fig8Params(repetitions=15, warmup=3)
+    print(bar_chart("Figure 8 — UDP RTT (us)", run_fig8(p), unit="us"))
+    return 0
+
+
+def _cmd_fig9(args) -> int:
+    from repro.core.exps.fig9 import Fig9Params, run_fig9
+    from repro.core.report import series_chart
+
+    if args.paper:
+        p = Fig9Params(trace=args.trace)
+    else:
+        p = Fig9Params(trace=args.trace, find_dirs=6, find_files=10,
+                       sqlite_txns=8)
+    data = run_fig9(p)
+    print(series_chart(f"Figure 9 — {args.trace} (runs/s)", data))
+    return 0
+
+
+def _cmd_fig10(args) -> int:
+    from repro.core.exps.fig10 import Fig10Params, run_fig10
+
+    if args.paper:
+        p = Fig10Params(runs=8, warmup=2)
+    else:
+        p = Fig10Params(records=60, operations=60, runs=1, warmup=0)
+    data = run_fig10(p, mixes=(args.mix,))
+    for system, row in data[args.mix].items():
+        print(f"{system:14s} total={row['total_s']:.3f}s "
+              f"user={row['user_s']:.3f}s sys={row['sys_s']:.3f}s")
+    return 0
+
+
+def _cmd_voice(args) -> int:
+    from repro.core.exps.voice import VoiceParams, run_voice
+
+    p = VoiceParams(triggers=8 if args.paper else 4)
+    data = run_voice(p)
+    print(f"isolated {data['isolated_ms']:.1f} ms / "
+          f"shared {data['shared_ms']:.1f} ms "
+          f"(+{data['overhead_pct']:.1f}%, paper +3.6%)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    with open(args.results) as handle:
+        results = json.load(handle)
+    print(render_report(results))
+    failures = shape_checks(results)
+    if failures:
+        print("\nSHAPE CHECKS FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall shape checks passed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="M3v reproduction experiment runner")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("area").set_defaults(func=_cmd_area)
+    sub.add_parser("sloc").set_defaults(func=_cmd_sloc)
+    for name, func in (("fig6", _cmd_fig6), ("fig7", _cmd_fig7),
+                       ("fig8", _cmd_fig8), ("voice", _cmd_voice)):
+        p = sub.add_parser(name)
+        p.add_argument("--paper", action="store_true",
+                       help="full paper-scale parameters")
+        p.set_defaults(func=func)
+    p = sub.add_parser("fig9")
+    p.add_argument("--trace", choices=("find", "sqlite"), default="find")
+    p.add_argument("--paper", action="store_true")
+    p.set_defaults(func=_cmd_fig9)
+    p = sub.add_parser("fig10")
+    p.add_argument("--mix", choices=("read", "insert", "update",
+                                     "mixed", "scan"), default="scan")
+    p.add_argument("--paper", action="store_true")
+    p.set_defaults(func=_cmd_fig10)
+    p = sub.add_parser("report")
+    p.add_argument("results", help="JSON from scripts/run_experiments.py")
+    p.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

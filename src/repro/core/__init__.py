@@ -1,0 +1,20 @@
+"""Top-level system assembly and experiment plumbing.
+
+* :mod:`repro.core.platform` — builds complete M3v platforms (tiles,
+  NoC, vDTUs, TileMux instances, controller) from a config.
+* :mod:`repro.core.results` — result tables shared by the benchmark
+  harness and EXPERIMENTS.md generation.
+"""
+
+from repro.core.platform import (
+    M3Platform,
+    M3vPlatform,
+    M3xPlatform,
+    PlatformConfig,
+    build_m3,
+    build_m3v,
+    build_m3x,
+)
+
+__all__ = ["M3Platform", "M3vPlatform", "M3xPlatform", "PlatformConfig",
+           "build_m3", "build_m3v", "build_m3x"]

@@ -1,0 +1,23 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+Each runner builds the right platform(s), executes the workload, and
+returns plain result rows that the benchmark harness prints and
+EXPERIMENTS.md records.  Paper-scale parameters are the defaults of
+each ``*Params`` dataclass; benchmarks may shrink them for quick runs.
+"""
+
+from repro.core.exps.fig6 import Fig6Params, run_fig6
+from repro.core.exps.fig7 import Fig7Params, run_fig7
+from repro.core.exps.fig8 import Fig8Params, run_fig8
+from repro.core.exps.fig9 import Fig9Params, run_fig9
+from repro.core.exps.fig10 import Fig10Params, run_fig10
+from repro.core.exps.voice import VoiceParams, run_voice
+
+__all__ = [
+    "Fig6Params", "run_fig6",
+    "Fig7Params", "run_fig7",
+    "Fig8Params", "run_fig8",
+    "Fig9Params", "run_fig9",
+    "Fig10Params", "run_fig10",
+    "VoiceParams", "run_voice",
+]

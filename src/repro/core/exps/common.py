@@ -1,0 +1,30 @@
+"""Shared plumbing for the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+from repro.core.platform import M3vPlatform, PlatformConfig, build_m3v
+from repro.tiles.costs import BOOM, ROCKET
+
+
+def fpga_config(**overrides) -> PlatformConfig:
+    """The FPGA prototype shape: 8 BOOM processing tiles + controller
+    on a Rocket core + 2 DDR4 memory tiles (Figure 4)."""
+    config = PlatformConfig(n_proc_tiles=8, proc_core=BOOM,
+                            controller_core=ROCKET, n_mem_tiles=2)
+    if overrides:
+        from dataclasses import replace
+        config = replace(config, **overrides)
+    return config
+
+
+def rendezvous(api, env: Dict, *keys) -> Generator:
+    """Boot-time helper: wait for the harness to publish channel ids."""
+    while any(k not in env for k in keys):
+        yield api.sim.timeout(1_000_000)
+
+
+def wait_all(plat: M3vPlatform, acts, limit: int = 10**14) -> None:
+    for act in acts:
+        plat.sim.run_until_event(act.exit_event, limit=limit)

@@ -1,0 +1,111 @@
+"""Figure 6: local/remote communication on M3v and Linux references.
+
+Four bars: Linux yield (2x), Linux syscall, M3v local RPC, M3v remote
+RPC — all no-op round-trips on the 80 MHz BOOM FPGA cores, 1000 runs
+with a warm system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.exps.common import fpga_config, rendezvous
+from repro.core.platform import build_m3v
+from repro.linuxsim import LinuxMachine
+from repro.tiles.costs import BOOM
+
+
+@dataclass
+class Fig6Params:
+    iterations: int = 1000
+    warmup: int = 50
+
+
+def _measure_m3v_rpc(local: bool, p: Fig6Params) -> float:
+    """Mean no-op RPC latency in ps."""
+    plat = build_m3v(fpga_config())
+    env: Dict = {}
+    out: Dict = {}
+
+    def server(api):
+        yield from rendezvous(api, env, "s_rep")
+        while True:
+            msg = yield from api.recv(env["s_rep"])
+            if msg.data == "stop":
+                return
+            yield from api.reply(env["s_rep"], msg, data=0, size=16)
+
+    def client(api):
+        yield from rendezvous(api, env, "c_sep")
+        for _ in range(p.warmup):
+            yield from api.call(env["c_sep"], env["c_rep"], 0, 16)
+        start = api.sim.now
+        for _ in range(p.iterations):
+            yield from api.call(env["c_sep"], env["c_rep"], 0, 16)
+        out["ps"] = (api.sim.now - start) / p.iterations
+        yield from api.send(env["c_sep"], "stop", 16)
+
+    ctrl = plat.controller
+    server_act = plat.run_proc(ctrl.spawn("server", 0 if local else 1, server))
+    client_act = plat.run_proc(ctrl.spawn("client", 0, client))
+    sep, rep, rpl = plat.run_proc(ctrl.wire_channel(client_act, server_act,
+                                                    credits=2))
+    env.update(s_rep=rep, c_sep=sep, c_rep=rpl)
+    plat.sim.run_until_event(client_act.exit_event, limit=10**14)
+    return out["ps"]
+
+
+def _measure_linux_syscall(p: Fig6Params) -> float:
+    machine = LinuxMachine()
+    out: Dict = {}
+
+    def prog(api):
+        for _ in range(p.warmup):
+            yield from api.noop_syscall()
+        start = api.sim.now
+        for _ in range(p.iterations):
+            yield from api.noop_syscall()
+        out["ps"] = (api.sim.now - start) / p.iterations
+
+    proc = machine.spawn("bench", prog)
+    machine.sim.run_until_event(proc.exit_event, limit=10**14)
+    return out["ps"]
+
+
+def _measure_linux_yield2(p: Fig6Params) -> float:
+    """Two context switches: ping yields to pong, pong yields back."""
+    machine = LinuxMachine()
+    out: Dict = {}
+    n = p.iterations
+
+    def ponger(api):
+        for _ in range(n + p.warmup + 5):
+            yield from api.sched_yield()
+
+    def pinger(api):
+        for _ in range(p.warmup):
+            yield from api.sched_yield()
+        start = api.sim.now
+        for _ in range(n):
+            yield from api.sched_yield()
+        out["ps"] = (api.sim.now - start) / n
+
+    machine.spawn("ponger", ponger)
+    proc = machine.spawn("pinger", pinger)
+    machine.sim.run_until_event(proc.exit_event, limit=10**14)
+    return out["ps"]
+
+
+def run_fig6(params: Fig6Params = None) -> Dict[str, Dict[str, float]]:
+    """Returns rows: name -> {us, kcycles} like the two x-axes of Fig 6."""
+    p = params or Fig6Params()
+    period_ps = BOOM.clock.period_ps
+    rows = {
+        "linux_yield_2x": _measure_linux_yield2(p),
+        "linux_syscall": _measure_linux_syscall(p),
+        "m3v_local": _measure_m3v_rpc(local=True, p=p),
+        "m3v_remote": _measure_m3v_rpc(local=False, p=p),
+    }
+    return {name: {"us": ps / 1e6, "kcycles": ps / period_ps / 1e3}
+            for name, ps in rows.items()}

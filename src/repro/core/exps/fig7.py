@@ -1,0 +1,143 @@
+"""Figure 7: file read/write throughput, M3v (shared/isolated) vs Linux.
+
+2 MiB files, 4 KiB buffers, 64-block extents; 10 measured runs after 4
+warmup runs (section 6.3).  "Shared" puts the pager, the file system
+and the benchmark on one BOOM core; "isolated" gives each its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.exps.common import fpga_config
+from repro.core.platform import build_m3v
+from repro.linuxsim import LinuxMachine
+from repro.linuxsim.machine import O_CREAT as L_O_CREAT
+from repro.linuxsim.machine import O_TRUNC as L_O_TRUNC
+from repro.linuxsim.machine import O_WRONLY as L_O_WRONLY
+from repro.services.boot import boot_m3fs, boot_pager, connect_fs
+from repro.services.m3fs import FsClient, O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
+
+
+@dataclass
+class Fig7Params:
+    file_bytes: int = 2 * 1024 * 1024
+    buf_bytes: int = 4096
+    runs: int = 10
+    warmup: int = 4
+    max_extent_blocks: int = 64
+
+
+def _mib_per_s(total_bytes: int, ps: int) -> float:
+    return total_bytes / (1 << 20) / (ps / 1e12)
+
+
+def _run_m3v(op: str, shared: bool, p: Fig7Params) -> float:
+    plat = build_m3v(fpga_config())
+    fs_tile = 1
+    bench_tile = 1 if shared else 2
+    pager_tile = 1 if shared else 3
+
+    pager, _ = plat.run_proc(boot_pager(plat, tile=pager_tile))
+    blocks = max(512, 4 * p.file_bytes // 4096)
+    fs = plat.run_proc(boot_m3fs(plat, tile=fs_tile, blocks=blocks,
+                                 max_extent_blocks=p.max_extent_blocks))
+    if op == "read":
+        fs.populate(plat.tiles[fs.region.mem_tile].dtu, "/bench.dat",
+                    b"\xab" * p.file_bytes,
+                    max_extent_blocks=p.max_extent_blocks)
+    env: Dict = {}
+    out: Dict = {}
+
+    def bench(api):
+        while "fs_eps" not in env:
+            yield api.sim.timeout(1_000_000)
+        fsc = FsClient(api, *env["fs_eps"])
+        chunk = b"\xcd" * p.buf_bytes
+
+        def one_run():
+            if op == "read":
+                fd = yield from fsc.open("/bench.dat", O_RDONLY)
+                while True:
+                    data = yield from fsc.read(fd, p.buf_bytes)
+                    if not data:
+                        break
+                yield from fsc.close(fd)
+            else:
+                fd = yield from fsc.open("/bench.dat",
+                                         O_WRONLY | O_CREAT | O_TRUNC)
+                written = 0
+                while written < p.file_bytes:
+                    yield from fsc.write(fd, chunk)
+                    written += len(chunk)
+                yield from fsc.close(fd)
+
+        for _ in range(p.warmup):
+            yield from one_run()
+        start = api.sim.now
+        for _ in range(p.runs):
+            yield from one_run()
+        out["ps"] = api.sim.now - start
+
+    act = plat.run_proc(plat.controller.spawn("bench", bench_tile, bench,
+                                              pager="pager"))
+    env["fs_eps"] = plat.run_proc(connect_fs(plat, act, fs))
+    plat.sim.run_until_event(act.exit_event, limit=10**15)
+    return _mib_per_s(p.runs * p.file_bytes, out["ps"])
+
+
+def _run_linux(op: str, p: Fig7Params) -> float:
+    machine = LinuxMachine()
+    out: Dict = {}
+
+    def prog(api):
+        chunk = b"\xcd" * p.buf_bytes
+        if op == "read":
+            fd = yield from api.open("/bench.dat", L_O_CREAT | L_O_WRONLY)
+            written = 0
+            while written < p.file_bytes:
+                yield from api.write(fd, chunk)
+                written += len(chunk)
+            yield from api.close(fd)
+
+        def one_run():
+            if op == "read":
+                fd = yield from api.open("/bench.dat")
+                while True:
+                    data = yield from api.read(fd, p.buf_bytes)
+                    if not data:
+                        break
+                yield from api.close(fd)
+            else:
+                fd = yield from api.open("/bench.dat",
+                                         L_O_CREAT | L_O_WRONLY | L_O_TRUNC)
+                written = 0
+                while written < p.file_bytes:
+                    yield from api.write(fd, chunk)
+                    written += len(chunk)
+                yield from api.close(fd)
+
+        for _ in range(p.warmup):
+            yield from one_run()
+        start = api.sim.now
+        for _ in range(p.runs):
+            yield from one_run()
+        out["ps"] = api.sim.now - start
+
+    proc = machine.spawn("bench", prog)
+    machine.sim.run_until_event(proc.exit_event, limit=10**15)
+    return _mib_per_s(p.runs * p.file_bytes, out["ps"])
+
+
+def run_fig7(params: Fig7Params = None) -> Dict[str, float]:
+    """Returns MiB/s for the six bars of Figure 7."""
+    p = params or Fig7Params()
+    return {
+        "linux_write": _run_linux("write", p),
+        "linux_read": _run_linux("read", p),
+        "m3v_write_shared": _run_m3v("write", shared=True, p=p),
+        "m3v_write_isolated": _run_m3v("write", shared=False, p=p),
+        "m3v_read_shared": _run_m3v("read", shared=True, p=p),
+        "m3v_read_isolated": _run_m3v("read", shared=False, p=p),
+    }

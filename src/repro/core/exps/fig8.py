@@ -1,0 +1,93 @@
+"""Figure 8: UDP round-trip latency, M3v (shared/isolated) vs Linux.
+
+50 repetitions of sending and receiving 1-byte packets after 5 warmup
+runs; the peer is the fast remote host over a direct gigabit link
+(section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.exps.common import fpga_config
+from repro.core.platform import build_m3v
+from repro.linuxsim import LinuxMachine
+from repro.services.boot import boot_net, boot_pager, connect_net
+from repro.services.net import NetClient
+
+ECHO_PORT = 7
+
+
+@dataclass
+class Fig8Params:
+    repetitions: int = 50
+    warmup: int = 5
+    payload_bytes: int = 1
+
+
+def _run_m3v(shared: bool, p: Fig8Params) -> float:
+    """Mean RTT in microseconds."""
+    plat = build_m3v(fpga_config())
+    nic_tile = 1                       # net is pinned to the NIC tile
+    bench_tile = 1 if shared else 2
+    pager_tile = 1 if shared else 3
+
+    plat.run_proc(boot_pager(plat, tile=pager_tile))
+    net = plat.run_proc(boot_net(plat, tile=nic_tile))
+    net.remote.echo_ports.add(ECHO_PORT)
+    env: Dict = {}
+    out: Dict = {}
+
+    def bench(api):
+        while "net_eps" not in env:
+            yield api.sim.timeout(1_000_000)
+        netc = NetClient(api, *env["net_eps"])
+        sid = yield from netc.socket()
+        yield from netc.bind(sid, 5000)
+        for _ in range(p.warmup):
+            yield from netc.sendto(sid, ECHO_PORT, b"x", p.payload_bytes)
+            yield from netc.recvfrom(sid)
+        start = api.sim.now
+        for _ in range(p.repetitions):
+            yield from netc.sendto(sid, ECHO_PORT, b"x", p.payload_bytes)
+            yield from netc.recvfrom(sid)
+        out["ps"] = (api.sim.now - start) / p.repetitions
+
+    act = plat.run_proc(plat.controller.spawn("bench", bench_tile, bench,
+                                              pager="pager"))
+    env["net_eps"] = plat.run_proc(connect_net(plat, act, net))
+    plat.sim.run_until_event(act.exit_event, limit=10**15)
+    return out["ps"] / 1e6
+
+
+def _run_linux(p: Fig8Params) -> float:
+    machine = LinuxMachine(with_net=True)
+    machine.remote.echo_ports.add(ECHO_PORT)
+    out: Dict = {}
+
+    def prog(api):
+        sid = yield from api.socket()
+        yield from api.bind(sid, 5000)
+        for _ in range(p.warmup):
+            yield from api.sendto(sid, ECHO_PORT, b"x", p.payload_bytes)
+            yield from api.recvfrom(sid)
+        start = api.sim.now
+        for _ in range(p.repetitions):
+            yield from api.sendto(sid, ECHO_PORT, b"x", p.payload_bytes)
+            yield from api.recvfrom(sid)
+        out["ps"] = (api.sim.now - start) / p.repetitions
+
+    proc = machine.spawn("bench", prog)
+    machine.sim.run_until_event(proc.exit_event, limit=10**15)
+    return out["ps"] / 1e6
+
+
+def run_fig8(params: Fig8Params = None) -> Dict[str, float]:
+    """Returns mean RTT in microseconds for the three bars of Figure 8."""
+    p = params or Fig8Params()
+    return {
+        "linux": _run_linux(p),
+        "m3v_shared": _run_m3v(shared=True, p=p),
+        "m3v_isolated": _run_m3v(shared=False, p=p),
+    }

@@ -1,0 +1,106 @@
+"""Figure 9: scalability of context-switch-heavy workloads, M3x vs M3v.
+
+The gem5 configuration of section 6.4: 3 GHz out-of-order x86 cores in
+every tile, one traceplayer + one file-system instance *per tile* (so
+every file-system call is a tile-local RPC — the context-switch-heavy
+pattern), scaled from 1 to 12 tiles.  The y-axis is aggregate
+application runs per second after one warmup run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.apps.traceplayer import TracePlayer
+from repro.core.platform import PlatformConfig, build_m3v, build_m3x
+from repro.posix.vfs import M3vVfs
+from repro.services.boot import boot_m3fs, connect_fs
+from repro.services.m3fs import FsClient
+from repro.tiles.costs import X86_GEM5
+from repro.workloads.traces import find_trace, find_tree_spec, sqlite_trace
+
+
+@dataclass
+class Fig9Params:
+    tile_counts: List[int] = field(default_factory=lambda: [1, 2, 4, 8, 12])
+    trace: str = "find"            # find | sqlite
+    runs: int = 2                  # measured runs per tile (after 1 warmup)
+    # trace shape (paper scale: find 24x40, sqlite 32 transactions)
+    find_dirs: int = 24
+    find_files: int = 40
+    sqlite_txns: int = 32
+    fs_blocks: int = 512
+
+    def make_trace(self):
+        if self.trace == "find":
+            return find_trace(self.find_dirs, self.find_files)
+        if self.trace == "sqlite":
+            return sqlite_trace(self.sqlite_txns)
+        raise ValueError(f"unknown trace {self.trace!r}")
+
+
+def gem5_config(n_tiles: int) -> PlatformConfig:
+    return PlatformConfig(n_proc_tiles=n_tiles, proc_core=X86_GEM5,
+                          controller_core=X86_GEM5, n_mem_tiles=2)
+
+
+def _populate(fs, p: Fig9Params) -> None:
+    if p.trace == "find":
+        dirs, files = find_tree_spec(p.find_dirs, p.find_files)
+        for d in dirs:
+            fs.image.mkdir(d)
+        for f in files:
+            fs.image.create(f)
+
+
+def _throughput(build, n_tiles: int, p: Fig9Params) -> float:
+    """Aggregate runs/s over ``n_tiles`` tiles."""
+    plat = build(gem5_config(n_tiles))
+    trace = p.make_trace()
+    results: Dict[int, Dict[str, int]] = {}
+    players = []
+
+    for tile in range(n_tiles):
+        fs = plat.run_proc(boot_m3fs(plat, tile=tile, blocks=p.fs_blocks,
+                                     name=f"m3fs{tile}"))
+        _populate(fs, p)
+        env: Dict = {}
+        out: Dict = {}
+        results[tile] = out
+
+        def bench(api, env=env, out=out):
+            while "fs_eps" not in env:
+                yield api.sim.timeout(1_000_000)
+            fsc = FsClient(api, *env["fs_eps"])
+            player = TracePlayer(M3vVfs(fsc), api.compute)
+
+            def reset():
+                if p.trace == "sqlite":
+                    yield from fsc.unlink("/test.db")
+
+            yield from player.play(trace)      # warmup
+            yield from reset()
+            start = api.sim.now
+            for _ in range(p.runs):
+                yield from player.play(trace)
+                yield from reset()
+            out["ps"] = api.sim.now - start
+
+        act = plat.run_proc(plat.controller.spawn(f"player{tile}", tile,
+                                                  bench))
+        env["fs_eps"] = plat.run_proc(connect_fs(plat, act, fs))
+        players.append(act)
+
+    for act in players:
+        plat.sim.run_until_event(act.exit_event, limit=10**16)
+    return sum(p.runs / (out["ps"] / 1e12) for out in results.values())
+
+
+def run_fig9(params: Fig9Params = None) -> Dict[str, Dict[int, float]]:
+    """Returns {system -> {n_tiles -> aggregate runs/s}}."""
+    p = params or Fig9Params()
+    return {
+        "m3v": {n: _throughput(build_m3v, n, p) for n in p.tile_counts},
+        "m3x": {n: _throughput(build_m3x, n, p) for n in p.tile_counts},
+    }

@@ -1,0 +1,144 @@
+"""Render experiment results as ASCII figures and the EXPERIMENTS.md
+paper-vs-measured report.
+
+Consumed by ``scripts/run_experiments.py`` and the CLI
+(``python -m repro report``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+BAR_WIDTH = 44
+
+
+def bar_chart(title: str, values: Mapping[str, float], unit: str = "",
+              width: int = BAR_WIDTH) -> str:
+    """A horizontal ASCII bar chart, like the paper's figures."""
+    if not values:
+        return f"{title}\n  (no data)"
+    peak = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title]
+    for name, value in values.items():
+        bar = "#" * max(1, round(width * value / peak))
+        lines.append(f"  {name:{label_w}s} |{bar:<{width}s} {value:,.1f} {unit}")
+    return "\n".join(lines)
+
+
+def series_chart(title: str, series: Mapping[str, Mapping[int, float]],
+                 x_label: str = "tiles", unit: str = "") -> str:
+    """A small multi-series table (for the Figure 9 scaling curves)."""
+    xs = sorted({x for ys in series.values() for x in ys})
+    label_w = max(len(k) for k in series)
+    lines = [title,
+             "  " + " " * label_w + "".join(f"{x:>9}" for x in xs)
+             + f"   ({x_label})"]
+    for name, ys in series.items():
+        cells = "".join(f"{ys.get(x, float('nan')):9.0f}" for x in xs)
+        lines.append(f"  {name:{label_w}s}{cells}   {unit}")
+    return "\n".join(lines)
+
+
+def render_report(results: Dict) -> str:
+    """The full ASCII report over a run_experiments results dict."""
+    parts: List[str] = []
+
+    if "table1" in results:
+        t1 = results["table1"]
+        parts.append(
+            f"Table 1 — vDTU {t1['vdtu_kluts']} kLUTs = "
+            f"{t1['vdtu_of_boom']:.1%} of BOOM / "
+            f"{t1['vdtu_of_rocket']:.1%} of Rocket; "
+            f"virtualization adds {t1['virt_overhead']:.1%} logic")
+
+    if "fig6" in results:
+        parts.append(bar_chart(
+            "Figure 6 — no-op round trips (k cycles)",
+            {k: v["kcycles"] for k, v in results["fig6"].items()},
+            unit="kcy"))
+
+    if "fig7" in results:
+        parts.append(bar_chart("Figure 7 — file throughput (MiB/s)",
+                               results["fig7"], unit="MiB/s"))
+
+    if "fig8" in results:
+        parts.append(bar_chart("Figure 8 — UDP RTT (us)",
+                               results["fig8"], unit="us"))
+
+    if "fig9" in results:
+        for trace, series in results["fig9"].items():
+            normalized = {sys: {int(k): v for k, v in ys.items()}
+                          for sys, ys in series.items()}
+            parts.append(series_chart(
+                f"Figure 9 — {trace} throughput (runs/s)", normalized))
+
+    if "fig10" in results:
+        for mix, systems in results["fig10"].items():
+            parts.append(bar_chart(
+                f"Figure 10 — YCSB {mix}-heavy, total runtime (s)",
+                {sys: row["total_s"] for sys, row in systems.items()},
+                unit="s"))
+
+    if "voice" in results:
+        v = results["voice"]
+        parts.append(
+            f"Voice assistant — isolated {v['isolated_ms']:.1f} ms, "
+            f"shared {v['shared_ms']:.1f} ms "
+            f"(+{v['overhead_pct']:.1f}%; paper: +3.6%)")
+
+    return "\n\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# shape checks: the qualitative claims the reproduction must uphold
+# ---------------------------------------------------------------------------
+
+def shape_checks(results: Dict) -> List[str]:
+    """Verify the paper's qualitative claims; returns failures."""
+    failures: List[str] = []
+
+    def expect(cond: bool, claim: str) -> None:
+        if not cond:
+            failures.append(claim)
+
+    fig6 = results.get("fig6")
+    if fig6:
+        expect(0.5 < fig6["m3v_remote"]["kcycles"]
+               / fig6["linux_syscall"]["kcycles"] < 1.5,
+               "fig6: M3v remote RPC ~ Linux syscall")
+        expect(fig6["m3v_local"]["kcycles"]
+               > 2.5 * fig6["m3v_remote"]["kcycles"],
+               "fig6: local RPC much dearer than remote")
+
+    fig7 = results.get("fig7")
+    if fig7:
+        expect(fig7["m3v_read_shared"] > fig7["linux_read"],
+               "fig7: M3v read beats Linux even shared")
+        expect(fig7["linux_write"] < fig7["linux_read"],
+               "fig7: writes slower than reads")
+
+    fig9 = results.get("fig9", {})
+    for trace, series in fig9.items():
+        m3v = {int(k): v for k, v in series["m3v"].items()}
+        m3x = {int(k): v for k, v in series["m3x"].items()}
+        top = max(m3v)
+        expect(m3v[1] > 1.3 * m3x[1],
+               f"fig9/{trace}: ~2x single-tile advantage")
+        expect(m3v[top] / m3v[1] > 0.65 * top,
+               f"fig9/{trace}: near-linear M3v scaling")
+        expect(m3x[top] < 1.4 * m3x[min(4, top)],
+               f"fig9/{trace}: M3x plateaus")
+
+    fig10 = results.get("fig10", {})
+    if "scan" in fig10:
+        expect(fig10["scan"]["linux"]["total_s"]
+               > fig10["scan"]["m3v_shared"]["total_s"],
+               "fig10: Linux loses on scans")
+
+    voice = results.get("voice")
+    if voice:
+        expect(0 < voice["overhead_pct"] < 15,
+               "voice: small sharing overhead")
+
+    return failures

@@ -1,0 +1,419 @@
+"""The base DTU and the memory-tile DTU.
+
+The base :class:`Dtu` implements the unprivileged interface (commands
+usable by the running activity) and the external interface (endpoint
+configuration by the controller).  It is the DTU of the controller
+tile, of accelerator tiles, and — together with the save/restore hooks
+— the DTU that M3x multiplexing manipulates remotely.
+
+Timing protocol: command helpers (``cmd_*``) are generators executed on
+the core's time line; they charge MMIO accesses, command processing and
+DMA, and block until the command completes.  Packet reception runs in a
+separate per-DTU process fed by the NoC inbox.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.sim import Simulator
+from repro.sim.stats import StatRegistry
+from repro.noc import NocFabric, Packet, PacketKind
+from repro.dtu.endpoints import (
+    Endpoint,
+    EndpointKind,
+    MemoryEndpoint,
+    Perm,
+    ReceiveEndpoint,
+    SendEndpoint,
+)
+from repro.dtu.errors import DtuError, DtuFault
+from repro.dtu.message import Message
+from repro.dtu.params import DramParams, DtuParams
+
+_tags = itertools.count(1)
+
+
+@dataclass
+class WireMsg:
+    """Payload of a MSG packet."""
+
+    dst_ep: int
+    label: int
+    data: Any
+    size: int
+    src_tile: int
+    reply_ep: Optional[int] = None      # where a REPLY should go (sender rEP)
+    credit_ep: Optional[int] = None     # sender sEP to re-credit on ack
+    is_reply: bool = False
+    credit_return_ep: Optional[int] = None  # for replies: sEP at dst to credit
+
+
+class ExtOp(enum.Enum):
+    """External-interface operations (controller -> DTU)."""
+
+    CONFIG_EP = "config_ep"
+    INVAL_EP = "inval_ep"
+    READ_EPS = "read_eps"        # M3x: controller saves DTU state
+    WRITE_EPS = "write_eps"      # M3x: controller restores DTU state
+
+
+@dataclass
+class ExtRequest:
+    op: ExtOp
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class Dtu:
+    """Base DTU: endpoint register file + command execution + NoC front."""
+
+    def __init__(self, sim: Simulator, tile: int, fabric: NocFabric,
+                 params: Optional[DtuParams] = None,
+                 stats: Optional[StatRegistry] = None):
+        self.sim = sim
+        self.tile = tile
+        self.fabric = fabric
+        self.params = params or DtuParams()
+        self.stats = stats or StatRegistry()
+        self.eps: List[Endpoint] = [Endpoint() for _ in range(self.params.num_endpoints)]
+        self._inbox = fabric.attach(tile)
+        self._pending: Dict[int, Any] = {}   # tag -> completion Event
+        # message-available line towards the attached component (used by the
+        # controller and device tiles to sleep instead of polling)
+        self.msg_callback = None
+        self._recv_proc = sim.process(self._receive_loop(), name=f"dtu{tile}-rx")
+
+    # -- configuration (used by the controller via the external interface,
+    #    and directly by platform setup code) ---------------------------------
+
+    def configure(self, ep_id: int, endpoint: Endpoint) -> None:
+        self._check_ep_id(ep_id)
+        self.eps[ep_id] = endpoint
+
+    def invalidate_ep(self, ep_id: int) -> None:
+        self._check_ep_id(ep_id)
+        self.eps[ep_id] = Endpoint()
+
+    def _check_ep_id(self, ep_id: int) -> None:
+        if not 0 <= ep_id < len(self.eps):
+            raise DtuFault(DtuError.UNKNOWN_EP, f"ep id {ep_id} out of range")
+
+    # -- validation hooks overridden by the vDTU ------------------------------
+
+    def _usable_ep(self, ep_id: int, kind: EndpointKind):
+        """Fetch an endpoint for *use* by the current activity."""
+        self._check_ep_id(ep_id)
+        ep = self.eps[ep_id]
+        if ep.kind is not kind:
+            raise DtuFault(DtuError.UNKNOWN_EP, f"ep {ep_id} is {ep.kind.value}")
+        return ep
+
+    def _translate(self, virt: int, size: int, perm: Perm) -> int:
+        """Base DTU: physical addressing, no translation (controller tile)."""
+        return virt
+
+    def _deliverable_ep(self, ep_id: int) -> Optional[ReceiveEndpoint]:
+        """Find the receive EP for an incoming message, if present."""
+        if not 0 <= ep_id < len(self.eps):
+            return None
+        ep = self.eps[ep_id]
+        if ep.kind is not EndpointKind.RECEIVE:
+            return None
+        return ep
+
+    def _on_deposit(self, ep_id: int, ep: ReceiveEndpoint, msg: Message) -> None:
+        """Hook: vDTU counts messages / raises core requests here."""
+        if self.msg_callback is not None:
+            self.msg_callback(ep_id)
+
+    # -- unprivileged commands -------------------------------------------------
+
+    def _mmio(self, accesses: int) -> Generator:
+        yield self.sim.timeout(accesses * self.params.mmio_access_ps)
+
+    def cmd_send(self, ep_id: int, data: Any, size: int,
+                 reply_ep: Optional[int] = None,
+                 virt_addr: int = 0) -> Generator:
+        """SEND: transmit a message over a send endpoint.
+
+        Completes when the remote DTU acknowledged storing the message.
+        Raises :class:`DtuFault` on any error.
+        """
+        # command registers: ep, addr, size, reply ep + trigger + poll
+        yield from self._mmio(5)
+        yield self.sim.timeout(self.params.cmd_setup_ps)
+        ep = self._usable_ep(ep_id, EndpointKind.SEND)
+        if size > ep.max_msg_size:
+            raise DtuFault(DtuError.MSG_TOO_LARGE, f"{size} > {ep.max_msg_size}")
+        if not ep.has_credits:
+            raise DtuFault(DtuError.MISSING_CREDITS)
+        self._translate(virt_addr, size, Perm.R)
+        ep.take_credit()
+        # DMA the message out of the core's memory
+        yield self.sim.timeout(self.params.dma_ps(size))
+        wire = WireMsg(dst_ep=ep.dst_ep, label=ep.label, data=data, size=size,
+                       src_tile=self.tile, reply_ep=reply_ep,
+                       credit_ep=ep_id if ep.max_credits != -1 else None)
+        error = yield from self._transact(PacketKind.MSG, ep.dst_tile, wire, size)
+        if error is not DtuError.NONE:
+            ep.return_credit()
+            raise DtuFault(error, f"send to tile {ep.dst_tile} ep {ep.dst_ep}")
+        self.stats.counter("dtu/sends").add()
+
+    def cmd_reply(self, ep_id: int, msg: Message, data: Any, size: int,
+                  virt_addr: int = 0) -> Generator:
+        """REPLY: answer a message fetched from receive EP ``ep_id``.
+
+        Implicitly returns the sender's credit and frees the slot.
+        """
+        yield from self._mmio(5)
+        yield self.sim.timeout(self.params.cmd_setup_ps)
+        ep = self._usable_ep(ep_id, EndpointKind.RECEIVE)
+        if not msg.can_reply:
+            raise DtuFault(DtuError.UNKNOWN_EP, "message has no reply endpoint")
+        self._translate(virt_addr, size, Perm.R)
+        yield self.sim.timeout(self.params.dma_ps(size))
+        wire = WireMsg(dst_ep=msg.reply_ep, label=msg.label, data=data,
+                       size=size, src_tile=self.tile, is_reply=True,
+                       credit_return_ep=None if msg.credited else msg.credit_ep)
+        msg.credited = True
+        ep.ack(msg)
+        error = yield from self._transact(PacketKind.MSG, msg.src_tile, wire, size)
+        if error is not DtuError.NONE:
+            raise DtuFault(error, f"reply to tile {msg.src_tile}")
+        self.stats.counter("dtu/replies").add()
+
+    def cmd_fetch(self, ep_id: int) -> Generator:
+        """FETCH: pop the oldest unread message; returns Message or None."""
+        yield from self._mmio(2)
+        yield self.sim.timeout(self.params.cmd_setup_ps)
+        ep = self._usable_ep(ep_id, EndpointKind.RECEIVE)
+        msg = ep.fetch()
+        if msg is not None:
+            self._on_fetch(ep)
+        return msg
+
+    def _on_fetch(self, ep: ReceiveEndpoint) -> None:
+        """Hook: vDTU decrements CUR_ACT message count here."""
+
+    def cmd_ack(self, ep_id: int, msg: Message) -> Generator:
+        """ACK: free the message's slot; return the credit if still owed."""
+        yield from self._mmio(2)
+        yield self.sim.timeout(self.params.cmd_setup_ps)
+        ep = self._usable_ep(ep_id, EndpointKind.RECEIVE)
+        ep.ack(msg)
+        if not msg.credited and msg.credit_ep is not None:
+            msg.credited = True
+            self.fabric.send(Packet(PacketKind.ACK, src=self.tile,
+                                    dst=msg.src_tile, size=0,
+                                    payload=msg.credit_ep))
+
+    def cmd_read(self, ep_id: int, offset: int, size: int,
+                 virt_addr: int = 0) -> Generator:
+        """READ: DMA ``size`` bytes from a memory endpoint; returns bytes."""
+        yield from self._mmio(4)
+        yield self.sim.timeout(self.params.cmd_setup_ps)
+        ep = self._usable_ep(ep_id, EndpointKind.MEMORY)
+        if Perm.R not in ep.perm:
+            raise DtuFault(DtuError.NO_PERM, "memory EP not readable")
+        if not ep.contains(offset, size):
+            raise DtuFault(DtuError.OUT_OF_BOUNDS,
+                           f"[{offset}, {offset + size}) not in EP of size {ep.size}")
+        self._translate(virt_addr, size, Perm.W)
+        req = Packet(PacketKind.READ_REQ, src=self.tile, dst=ep.dst_tile,
+                     size=0, payload=(ep.base + offset, size), tag=next(_tags))
+        data = yield from self._await_response(req)
+        # DMA the data into the core's memory
+        yield self.sim.timeout(self.params.dma_ps(size))
+        self.stats.counter("dtu/reads").add()
+        self.stats.counter("dtu/read_bytes").add(size)
+        return data
+
+    def cmd_write(self, ep_id: int, offset: int, data: bytes,
+                  virt_addr: int = 0) -> Generator:
+        """WRITE: DMA ``data`` into a memory endpoint."""
+        size = len(data)
+        yield from self._mmio(4)
+        yield self.sim.timeout(self.params.cmd_setup_ps)
+        ep = self._usable_ep(ep_id, EndpointKind.MEMORY)
+        if Perm.W not in ep.perm:
+            raise DtuFault(DtuError.NO_PERM, "memory EP not writable")
+        if not ep.contains(offset, size):
+            raise DtuFault(DtuError.OUT_OF_BOUNDS,
+                           f"[{offset}, {offset + size}) not in EP of size {ep.size}")
+        self._translate(virt_addr, size, Perm.R)
+        yield self.sim.timeout(self.params.dma_ps(size))
+        req = Packet(PacketKind.WRITE_REQ, src=self.tile, dst=ep.dst_tile,
+                     size=size, payload=(ep.base + offset, data), tag=next(_tags))
+        yield from self._await_response(req)
+        self.stats.counter("dtu/writes").add()
+        self.stats.counter("dtu/write_bytes").add(size)
+
+    # -- transport helpers ------------------------------------------------------
+
+    def _transact(self, kind: PacketKind, dst_tile: int, payload: Any,
+                  size: int) -> Generator:
+        """Send a packet and wait for its ACK/ERROR; returns a DtuError."""
+        tag = next(_tags)
+        done = self.sim.event()
+        self._pending[tag] = done
+        self.fabric.send(Packet(kind, src=self.tile, dst=dst_tile,
+                                size=size, payload=payload, tag=tag))
+        result = yield done
+        return result
+
+    def _await_response(self, req: Packet) -> Generator:
+        done = self.sim.event()
+        self._pending[req.tag] = done
+        self.fabric.send(req)
+        result = yield done
+        if isinstance(result, DtuError):
+            raise DtuFault(result)
+        return result
+
+    # -- packet reception --------------------------------------------------------
+
+    def _receive_loop(self) -> Generator:
+        while True:
+            pkt = yield self._inbox.get()
+            yield from self._handle_packet(pkt)
+
+    def _handle_packet(self, pkt: Packet) -> Generator:
+        if pkt.kind is PacketKind.MSG:
+            yield from self._handle_msg(pkt)
+        elif pkt.kind is PacketKind.ACK:
+            if pkt.tag in self._pending:
+                self._pending.pop(pkt.tag).succeed(pkt.payload)
+            else:
+                self._handle_credit_return(pkt.payload)
+        elif pkt.kind in (PacketKind.READ_RESP, PacketKind.WRITE_RESP,
+                          PacketKind.EXT_RESP, PacketKind.ERROR):
+            done = self._pending.pop(pkt.tag, None)
+            if done is not None:
+                done.succeed(pkt.payload)
+        elif pkt.kind is PacketKind.EXT_REQ:
+            yield from self._handle_ext(pkt)
+        elif pkt.kind in (PacketKind.READ_REQ, PacketKind.WRITE_REQ):
+            # only memory tiles serve DMA; anything else is a protocol error
+            self.fabric.send(pkt.response_to(PacketKind.ERROR,
+                                             payload=DtuError.UNKNOWN_EP))
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unhandled packet kind {pkt.kind}")
+
+    def _handle_msg(self, pkt: Packet) -> Generator:
+        wire: WireMsg = pkt.payload
+        ep = self._deliverable_ep(wire.dst_ep)
+        if ep is None:
+            self._respond(pkt, DtuError.RECV_GONE)
+            return
+        if wire.size > ep.slot_size:
+            self._respond(pkt, DtuError.MSG_TOO_LARGE)
+            return
+        if ep.free_slots == 0:
+            self._respond(pkt, DtuError.RECV_FULL)
+            return
+        # reply delivery implicitly returns the original sender's credit
+        if wire.is_reply and wire.credit_return_ep is not None:
+            credit_ep = self.eps[wire.credit_return_ep]
+            if isinstance(credit_ep, SendEndpoint):
+                credit_ep.return_credit()
+        msg = Message(label=wire.label, data=wire.data, size=wire.size,
+                      src_tile=wire.src_tile, reply_ep=wire.reply_ep,
+                      credit_ep=wire.credit_ep,
+                      credited=wire.is_reply or wire.credit_ep is None)
+        # DMA the payload into the receive buffer in tile memory
+        yield self.sim.timeout(self.params.dma_ps(wire.size))
+        ep.deposit(msg)
+        yield from self._on_deposit_blocking(wire.dst_ep, ep, msg)
+        self._respond(pkt, DtuError.NONE)
+        self.stats.counter("dtu/msgs_received").add()
+
+    def _on_deposit_blocking(self, ep_id: int, ep: ReceiveEndpoint,
+                             msg: Message) -> Generator:
+        """Hook wrapper allowing the vDTU to stall on core-request overrun."""
+        self._on_deposit(ep_id, ep, msg)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _respond(self, pkt: Packet, error: DtuError) -> None:
+        kind = PacketKind.ACK if error is DtuError.NONE else PacketKind.ERROR
+        resp = pkt.response_to(kind, payload=error)
+        # route completion directly (the sender's _pending table keys on tag)
+        self.fabric.send(resp)
+        if error is not DtuError.NONE:
+            self.stats.counter(f"dtu/err_{error.value}").add()
+
+    def _handle_credit_return(self, ep_id: int) -> None:
+        if 0 <= ep_id < len(self.eps):
+            ep = self.eps[ep_id]
+            if isinstance(ep, SendEndpoint):
+                ep.return_credit()
+
+    def _handle_ext(self, pkt: Packet) -> Generator:
+        req: ExtRequest = pkt.payload
+        yield self.sim.timeout(self.params.ext_cmd_ps)
+        result: Any = None
+        if req.op is ExtOp.CONFIG_EP:
+            self.configure(req.args["ep_id"], req.args["endpoint"])
+        elif req.op is ExtOp.INVAL_EP:
+            self.invalidate_ep(req.args["ep_id"])
+        elif req.op is ExtOp.READ_EPS:
+            ids = req.args["ep_ids"]
+            yield self.sim.timeout(self.params.ext_cmd_ps * len(ids))
+            result = {i: self.eps[i].snapshot()
+                      if self.eps[i].kind is not EndpointKind.INVALID else Endpoint()
+                      for i in ids}
+        elif req.op is ExtOp.WRITE_EPS:
+            eps = req.args["eps"]
+            yield self.sim.timeout(self.params.ext_cmd_ps * len(eps))
+            for ep_id, ep in eps.items():
+                self.eps[ep_id] = ep
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown ext op {req.op}")
+        self.fabric.send(pkt.response_to(PacketKind.EXT_RESP, payload=result))
+
+
+class MemoryDtu(Dtu):
+    """The DTU of a memory tile: serves DMA against DRAM.
+
+    Requests are served one at a time, so concurrent readers contend for
+    the DRAM interface — the "other shared resources" that ultimately
+    bound M3v's scalability in Figure 9.
+    """
+
+    def __init__(self, sim: Simulator, tile: int, fabric: NocFabric,
+                 dram_size: int,
+                 params: Optional[DtuParams] = None,
+                 dram: Optional[DramParams] = None,
+                 stats: Optional[StatRegistry] = None):
+        super().__init__(sim, tile, fabric, params=params, stats=stats)
+        self.dram_params = dram or DramParams()
+        self.dram = bytearray(dram_size)
+
+    def _handle_packet(self, pkt: Packet) -> Generator:
+        if pkt.kind is PacketKind.READ_REQ:
+            addr, size = pkt.payload
+            self._check_range(pkt, addr, size)
+            yield self.sim.timeout(self.dram_params.access_ps(size))
+            data = bytes(self.dram[addr:addr + size])
+            self.fabric.send(pkt.response_to(PacketKind.READ_RESP,
+                                             size=size, payload=data))
+            self.stats.counter("dram/reads").add()
+        elif pkt.kind is PacketKind.WRITE_REQ:
+            addr, data = pkt.payload
+            self._check_range(pkt, addr, len(data))
+            yield self.sim.timeout(self.dram_params.access_ps(len(data)))
+            self.dram[addr:addr + len(data)] = data
+            self.fabric.send(pkt.response_to(PacketKind.WRITE_RESP))
+            self.stats.counter("dram/writes").add()
+        else:
+            yield from super()._handle_packet(pkt)
+
+    def _check_range(self, pkt: Packet, addr: int, size: int) -> None:
+        if addr < 0 or addr + size > len(self.dram):
+            raise DtuFault(DtuError.OUT_OF_BOUNDS,
+                           f"DRAM access [{addr}, {addr + size}) beyond "
+                           f"{len(self.dram)} (from tile {pkt.src})")

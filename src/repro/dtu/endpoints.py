@@ -1,0 +1,166 @@
+"""Endpoint state.
+
+Endpoints are the architected state of a communication channel's end.
+Only the controller may configure them (via the external interface);
+activities merely *use* them.  In the vDTU every endpoint additionally
+carries the id of the owning activity (section 3.5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dtu.message import Message
+
+UNLIMITED_CREDITS = -1
+
+
+class EndpointKind(enum.Enum):
+    INVALID = "invalid"
+    SEND = "send"
+    RECEIVE = "receive"
+    MEMORY = "memory"
+
+
+class Perm(enum.Flag):
+    NONE = 0
+    R = enum.auto()
+    W = enum.auto()
+    RW = R | W
+
+
+@dataclass
+class Endpoint:
+    """Common endpoint header: kind and owning activity id."""
+
+    kind: EndpointKind = EndpointKind.INVALID
+    act: int = 0xFFFF  # ACT_INVALID; meaningful only in the vDTU
+
+    def snapshot(self) -> "Endpoint":
+        """Copy for M3x save/restore of DTU state by the controller."""
+        raise NotImplementedError
+
+
+@dataclass
+class SendEndpoint(Endpoint):
+    """A send endpoint: targets exactly one receive endpoint."""
+
+    dst_tile: int = 0
+    dst_ep: int = 0
+    label: int = 0                 # presented to the receiver; identifies
+                                   # the session/sender (set by controller)
+    max_msg_size: int = 512        # bytes
+    credits: int = UNLIMITED_CREDITS
+    max_credits: int = UNLIMITED_CREDITS
+    reply_ep: Optional[int] = None  # receive EP for replies, if RPC-style
+
+    def __post_init__(self) -> None:
+        self.kind = EndpointKind.SEND
+
+    @property
+    def has_credits(self) -> bool:
+        return self.credits == UNLIMITED_CREDITS or self.credits > 0
+
+    def take_credit(self) -> None:
+        if self.credits == UNLIMITED_CREDITS:
+            return
+        if self.credits <= 0:
+            raise RuntimeError("credit underflow")
+        self.credits -= 1
+
+    def return_credit(self) -> None:
+        if self.credits == UNLIMITED_CREDITS:
+            return
+        if self.credits >= self.max_credits:
+            # duplicate credit return would mint credits from thin air
+            raise RuntimeError("credit overflow")
+        self.credits += 1
+
+    def snapshot(self) -> "SendEndpoint":
+        return SendEndpoint(act=self.act, dst_tile=self.dst_tile,
+                            dst_ep=self.dst_ep, label=self.label,
+                            max_msg_size=self.max_msg_size,
+                            credits=self.credits, max_credits=self.max_credits,
+                            reply_ep=self.reply_ep)
+
+
+@dataclass
+class ReceiveEndpoint(Endpoint):
+    """A receive endpoint: a ring of message slots in tile memory."""
+
+    slots: int = 8
+    slot_size: int = 512           # max message size it can accept
+    buffer: List[Optional[Message]] = field(default_factory=list)
+    unread: int = 0
+
+    def __post_init__(self) -> None:
+        self.kind = EndpointKind.RECEIVE
+        if not self.buffer:
+            self.buffer = [None] * self.slots
+
+    @property
+    def free_slots(self) -> int:
+        return sum(1 for slot in self.buffer if slot is None)
+
+    def deposit(self, msg: Message) -> int:
+        """Store a message; returns the slot index.
+
+        The caller must have checked :attr:`free_slots`.
+        """
+        for idx, slot in enumerate(self.buffer):
+            if slot is None:
+                self.buffer[idx] = msg
+                self.unread += 1
+                return idx
+        raise RuntimeError("deposit into full receive endpoint")
+
+    def fetch(self) -> Optional[Message]:
+        """Return the oldest unread message and mark it read."""
+        best = None
+        for msg in self.buffer:
+            if msg is not None and not msg.read:
+                if best is None or msg.seq < best.seq:
+                    best = msg
+        if best is not None:
+            best.read = True
+            self.unread -= 1
+        return best
+
+    def ack(self, msg: Message) -> None:
+        """Free the slot occupied by ``msg``."""
+        for idx, slot in enumerate(self.buffer):
+            if slot is msg:
+                self.buffer[idx] = None
+                if not msg.read:
+                    self.unread -= 1
+                return
+        raise RuntimeError("ack of a message not in this endpoint")
+
+    def snapshot(self) -> "ReceiveEndpoint":
+        ep = ReceiveEndpoint(act=self.act, slots=self.slots,
+                             slot_size=self.slot_size,
+                             buffer=list(self.buffer))
+        ep.unread = self.unread
+        return ep
+
+
+@dataclass
+class MemoryEndpoint(Endpoint):
+    """A memory endpoint: a window into tile-external memory."""
+
+    dst_tile: int = 0
+    base: int = 0
+    size: int = 0
+    perm: Perm = Perm.RW
+
+    def __post_init__(self) -> None:
+        self.kind = EndpointKind.MEMORY
+
+    def contains(self, offset: int, length: int) -> bool:
+        return 0 <= offset and offset + length <= self.size
+
+    def snapshot(self) -> "MemoryEndpoint":
+        return MemoryEndpoint(act=self.act, dst_tile=self.dst_tile,
+                              base=self.base, size=self.size, perm=self.perm)

@@ -1,0 +1,33 @@
+"""Messages as stored in receive buffers.
+
+A message records where it came from so that REPLY can route the answer
+back (and return the sender's credit), mirroring the message header the
+hardware writes in front of each payload.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_seq = itertools.count()
+
+
+@dataclass
+class Message:
+    """One received message occupying a receive-buffer slot."""
+
+    label: int                 # the *receive side's* label for the channel
+    data: Any                  # payload (opaque to the DTU)
+    size: int                  # payload bytes (drives all timing)
+    src_tile: int              # where a REPLY must go
+    reply_ep: Optional[int]    # receive EP on src_tile for the reply
+    credit_ep: Optional[int]   # send EP on src_tile to re-credit
+    credited: bool = False     # credit already returned (by REPLY)?
+    read: bool = False
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    @property
+    def can_reply(self) -> bool:
+        return self.reply_ep is not None

@@ -1,0 +1,85 @@
+"""The vDTU's software-loaded TLB (section 3.6).
+
+The vDTU translates virtual to physical addresses itself, but keeps the
+hardware simple: the TLB is filled by TileMux through the privileged
+interface, transfers are limited to a single page, and a miss simply
+fails the command (no interrupt injection) — the activity then asks
+TileMux to insert the translation and retries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.dtu.endpoints import Perm
+
+
+@dataclass(frozen=True)
+class TlbEntry:
+    act: int
+    virt_page: int
+    phys_page: int
+    perm: Perm
+    pinned: bool = False  # TileMux pins its own translations at boot
+
+
+class Tlb:
+    """A small, fully associative, software-loaded TLB with LRU eviction."""
+
+    def __init__(self, entries: int, page_size: int):
+        if entries <= 0:
+            raise ValueError("TLB needs at least one entry")
+        self.capacity = entries
+        self.page_size = page_size
+        self._entries: "OrderedDict[Tuple[int, int], TlbEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def page_of(self, addr: int) -> int:
+        return addr // self.page_size
+
+    def lookup(self, act: int, virt: int, perm: Perm) -> Optional[int]:
+        """Translate ``virt``; returns a physical address or None on miss.
+
+        A permission mismatch is reported as a miss as well: TileMux will
+        then consult the page table and either upgrade the entry or raise
+        a fault towards the pager.
+        """
+        key = (act, self.page_of(virt))
+        entry = self._entries.get(key)
+        if entry is None or (perm & entry.perm) != perm:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.phys_page * self.page_size + (virt % self.page_size)
+
+    def insert(self, act: int, virt_page: int, phys_page: int, perm: Perm,
+               pinned: bool = False) -> None:
+        key = (act, virt_page)
+        if key in self._entries:
+            self._entries.pop(key)
+        elif len(self._entries) >= self.capacity:
+            self._evict()
+        self._entries[key] = TlbEntry(act, virt_page, phys_page, perm, pinned)
+
+    def _evict(self) -> None:
+        for key, entry in self._entries.items():  # LRU order
+            if not entry.pinned:
+                del self._entries[key]
+                return
+        raise RuntimeError("TLB full of pinned entries")
+
+    def invalidate(self, act: int, virt_page: Optional[int] = None) -> int:
+        """Drop entries of ``act`` (all, or one page); returns #removed."""
+        if virt_page is not None:
+            return 1 if self._entries.pop((act, virt_page), None) else 0
+        victims = [k for k in self._entries if k[0] == act]
+        for key in victims:
+            del self._entries[key]
+        return len(victims)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,201 @@
+"""The virtualized DTU (vDTU) of M3v (sections 3.4 - 3.8).
+
+Additions over the base DTU:
+
+* every endpoint is tagged with the owning activity; using a foreign
+  endpoint yields the *same* ``UNKNOWN_EP`` error as an invalid one, so
+  activities cannot probe each other's endpoints (section 3.5);
+* the ``CUR_ACT`` register holds the running activity's id *and* its
+  unread-message count (section 3.7);
+* a software-loaded TLB translates the virtual addresses activities
+  pass to commands; transfers are restricted to a single page and a
+  miss fails the command instead of injecting an interrupt (3.6);
+* messages for *any* resident activity are always deposited (fast
+  path); if the recipient is not running, a *core request* is queued
+  and an interrupt raised towards TileMux; queue overruns stall the
+  NoC ejection port — packet-based flow control (3.8);
+* a privileged interface, mapped only for TileMux: atomic activity
+  switch, TLB maintenance, core-request handling (3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Deque, Generator, List, Optional, Tuple
+
+from collections import deque
+
+from repro.dtu.dtu import Dtu
+from repro.dtu.endpoints import EndpointKind, MemoryEndpoint, Perm, ReceiveEndpoint
+from repro.dtu.errors import DtuError, DtuFault
+from repro.dtu.message import Message
+from repro.dtu.tlb import Tlb
+
+# Activity-id conventions (16-bit ids in hardware).
+ACT_TILEMUX = 0        # TileMux's own activity id (section 4.2)
+ACT_INVALID = 0xFFFF   # no activity / untagged endpoint
+
+
+@dataclass(frozen=True)
+class CoreRequest:
+    """A 'message arrived for a non-running activity' notification."""
+
+    act: int
+    ep_id: int
+
+
+class VDtu(Dtu):
+    """The virtualized DTU."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.cur_act: int = ACT_TILEMUX
+        self.cur_msgs: int = 0
+        # events woken when a message for the *current* activity arrives
+        # (the software poll loop of section 3.7 observes this register)
+        self.cur_msg_waiters: List = []
+        self.tlb = Tlb(self.params.tlb_entries, self.params.page_size)
+        self._core_reqs: Deque[CoreRequest] = deque()
+        self._overrun_waiters: List = []
+        # raised towards the core whenever the core-request queue is
+        # non-empty; wired up by the tile's executor
+        self.irq_handler: Optional[Callable[[], None]] = None
+
+    # -- endpoint protection (3.5) ---------------------------------------------
+
+    def _usable_ep(self, ep_id: int, kind: EndpointKind):
+        ep = super()._usable_ep(ep_id, kind)
+        if ep.act != self.cur_act:
+            # deliberately indistinguishable from an invalid endpoint
+            raise DtuFault(DtuError.UNKNOWN_EP, f"ep {ep_id}")
+        return ep
+
+    # -- address translation (3.6) ----------------------------------------------
+
+    def _translate(self, virt: int, size: int, perm: Perm) -> int:
+        if virt == 0:
+            # Convention of the simulation: address 0 marks transfers whose
+            # payload the caller models as register-resident scratch (no
+            # memory operand).  Software layers that want the TLB exercised
+            # pass real virtual buffer addresses.
+            return 0
+        page = self.params.page_size
+        if size > 0 and virt // page != (virt + size - 1) // page:
+            raise DtuFault(DtuError.PAGE_BOUNDARY,
+                           f"[{virt:#x}, {virt + size:#x}) crosses a page")
+        phys = self.tlb.lookup(self.cur_act, virt, perm)
+        if phys is None:
+            raise DtuFault(DtuError.TRANSLATION_FAULT, f"virt {virt:#x}")
+        return phys
+
+    # -- message delivery & core requests (3.7, 3.8) -----------------------------
+
+    def _deliverable_ep(self, ep_id: int) -> Optional[ReceiveEndpoint]:
+        """Any *valid* receive EP accepts, regardless of who is running.
+
+        This is the crucial difference from M3x: the vDTU knows the
+        endpoints of all resident activities, so the fast path always
+        works (section 3.8).
+        """
+        if not 0 <= ep_id < len(self.eps):
+            return None
+        ep = self.eps[ep_id]
+        if ep.kind is not EndpointKind.RECEIVE or ep.act == ACT_INVALID:
+            return None
+        return ep
+
+    def _on_deposit_blocking(self, ep_id: int, ep: ReceiveEndpoint,
+                             msg: Message) -> Generator:
+        if ep.act == self.cur_act:
+            self.cur_msgs += 1
+            waiters, self.cur_msg_waiters = self.cur_msg_waiters, []
+            for waiter in waiters:
+                if not waiter.triggered:
+                    waiter.succeed()
+            return
+        # recipient not running: queue a core request (stall on overrun —
+        # the NoC's packet-based flow control takes over upstream)
+        while len(self._core_reqs) >= self.params.core_req_queue_depth:
+            waiter = self.sim.event()
+            self._overrun_waiters.append(waiter)
+            self.stats.counter("vdtu/core_req_overruns").add()
+            yield waiter
+        self._core_reqs.append(CoreRequest(act=ep.act, ep_id=ep_id))
+        self.stats.counter("vdtu/core_reqs").add()
+        if self.irq_handler is not None:
+            self.irq_handler()
+
+    def _on_fetch(self, ep: ReceiveEndpoint) -> None:
+        if ep.act == self.cur_act and self.cur_msgs > 0:
+            self.cur_msgs -= 1
+
+    @property
+    def core_req_pending(self) -> bool:
+        return bool(self._core_reqs)
+
+    # -- privileged interface (TileMux only) --------------------------------------
+
+    def priv_xchg_act(self, new_act: int, new_msgs: int) -> Generator:
+        """Atomically switch ``CUR_ACT``; returns the old (act, msgs).
+
+        TileMux maintains the unread-message counters of non-running
+        activities in memory and supplies the new activity's count.
+        The atomicity guarantees no message notification can be lost
+        between the check and the switch (section 3.7).
+        """
+        yield from self._mmio(2)
+        yield self.sim.timeout(self.params.priv_cmd_ps)
+        old = (self.cur_act, self.cur_msgs)
+        self.cur_act = new_act
+        self.cur_msgs = new_msgs
+        self.stats.counter("vdtu/act_switches").add()
+        return old
+
+    def priv_read_cur_act(self) -> Generator:
+        """Read CUR_ACT without switching."""
+        yield from self._mmio(1)
+        return (self.cur_act, self.cur_msgs)
+
+    def priv_insert_tlb(self, act: int, virt_page: int, phys_page: int,
+                        perm: Perm, pinned: bool = False) -> Generator:
+        yield from self._mmio(2)
+        yield self.sim.timeout(self.params.priv_cmd_ps)
+        self.tlb.insert(act, virt_page, phys_page, perm, pinned=pinned)
+
+    def priv_invalidate_tlb(self, act: int,
+                            virt_page: Optional[int] = None) -> Generator:
+        yield from self._mmio(2)
+        yield self.sim.timeout(self.params.priv_cmd_ps)
+        self.tlb.invalidate(act, virt_page)
+
+    def priv_fetch_core_req(self) -> Generator:
+        """Read the head of the core-request queue (or None)."""
+        yield from self._mmio(1)
+        return self._core_reqs[0] if self._core_reqs else None
+
+    def priv_ack_core_req(self) -> Generator:
+        """Pop the head core request; re-raises the IRQ if more remain."""
+        yield from self._mmio(1)
+        yield self.sim.timeout(self.params.priv_cmd_ps)
+        if self._core_reqs:
+            self._core_reqs.popleft()
+        if self._overrun_waiters:
+            self._overrun_waiters.pop(0).succeed()
+        if self._core_reqs and self.irq_handler is not None:
+            self.irq_handler()
+
+    # -- physical memory protection (4.1, 4.3) --------------------------------------
+
+    PMP_EPS = 4
+
+    def pmp_select(self, phys: int) -> int:
+        """PMP endpoint index: the upper two bits of the physical address."""
+        return (phys >> 30) & 0x3
+
+    def pmp_check(self, phys: int, size: int, perm: Perm) -> bool:
+        """Would this last-level-cache miss be allowed?"""
+        ep = self.eps[self.pmp_select(phys)]
+        if not isinstance(ep, MemoryEndpoint):
+            return False
+        offset = phys - (self.pmp_select(phys) << 30)
+        return ep.contains(offset, size) and (perm & ep.perm) == perm

@@ -1,0 +1,16 @@
+"""The Linux baseline (section 6: "Linux 5.11").
+
+The paper runs Linux bare-metal on a *single* tile of the FPGA
+prototype (tiles are not cache coherent, so Linux cannot use more).
+This package models that machine: a monolithic kernel where every
+file/socket operation is a system call with trap overhead and an
+i-cache refill penalty, tmpfs as the in-memory file system, an
+in-kernel UDP stack driving the same NIC/wire models as M3v, a
+round-robin scheduler with ``yield``, and getrusage-style user/system
+time accounting.
+"""
+
+from repro.linuxsim.machine import LinuxApi, LinuxMachine, LinuxProcess
+from repro.linuxsim.tmpfs import TmpFs
+
+__all__ = ["LinuxMachine", "LinuxProcess", "LinuxApi", "TmpFs"]

@@ -1,0 +1,117 @@
+"""tmpfs: the in-memory file system of the Linux baseline.
+
+Page-granular backing like the real tmpfs: writes allocate and zero
+pages before copying, which is the "allocate, clear, append" cost the
+paper points at for the write/read asymmetry (section 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+PAGE = 4096
+
+
+class TmpFsError(Exception):
+    pass
+
+
+class TmpFs:
+    """A minimal but real tmpfs: hierarchical namespace + page store."""
+
+    def __init__(self):
+        self._files: Dict[str, bytearray] = {}
+        self._dirs = {"/"}
+        self.pages_allocated = 0
+
+    @staticmethod
+    def _norm(path: str) -> str:
+        parts = [p for p in path.split("/") if p]
+        return "/" + "/".join(parts)
+
+    def _parent(self, path: str) -> str:
+        return self._norm(path.rsplit("/", 1)[0] or "/")
+
+    def exists(self, path: str) -> bool:
+        path = self._norm(path)
+        return path in self._files or path in self._dirs
+
+    def is_dir(self, path: str) -> bool:
+        return self._norm(path) in self._dirs
+
+    def create(self, path: str) -> None:
+        path = self._norm(path)
+        if path in self._files or path in self._dirs:
+            raise TmpFsError(f"{path}: exists")
+        if self._parent(path) not in self._dirs:
+            raise TmpFsError(f"{path}: no such directory")
+        self._files[path] = bytearray()
+
+    def mkdir(self, path: str) -> None:
+        path = self._norm(path)
+        if self.exists(path):
+            raise TmpFsError(f"{path}: exists")
+        if self._parent(path) not in self._dirs:
+            raise TmpFsError(f"{path}: no such directory")
+        self._dirs.add(path)
+
+    def unlink(self, path: str) -> None:
+        path = self._norm(path)
+        if path in self._files:
+            data = self._files.pop(path)
+            self.pages_allocated -= (len(data) + PAGE - 1) // PAGE
+            return
+        if path in self._dirs:
+            if any(p.startswith(path + "/") for p in
+                   list(self._files) + list(self._dirs - {path})):
+                raise TmpFsError(f"{path}: not empty")
+            self._dirs.discard(path)
+            return
+        raise TmpFsError(f"{path}: no such file")
+
+    def listdir(self, path: str) -> List[str]:
+        path = self._norm(path)
+        if path not in self._dirs:
+            raise TmpFsError(f"{path}: not a directory")
+        prefix = path.rstrip("/") + "/"
+        names = set()
+        for p in list(self._files) + list(self._dirs):
+            if p != path and p.startswith(prefix):
+                names.add(p[len(prefix):].split("/")[0])
+        return sorted(names)
+
+    def size(self, path: str) -> int:
+        path = self._norm(path)
+        if path in self._dirs:
+            return 0
+        data = self._files.get(path)
+        if data is None:
+            raise TmpFsError(f"{path}: no such file")
+        return len(data)
+
+    def truncate(self, path: str) -> None:
+        path = self._norm(path)
+        if path not in self._files:
+            raise TmpFsError(f"{path}: no such file")
+        self._files[path] = bytearray()
+
+    def read(self, path: str, offset: int, n: int) -> bytes:
+        data = self._files.get(self._norm(path))
+        if data is None:
+            raise TmpFsError(f"{path}: no such file")
+        return bytes(data[offset:offset + n])
+
+    def write(self, path: str, offset: int, chunk: bytes) -> int:
+        """Write; returns the number of *new* pages allocated (to cost)."""
+        path = self._norm(path)
+        data = self._files.get(path)
+        if data is None:
+            raise TmpFsError(f"{path}: no such file")
+        old_pages = (len(data) + PAGE - 1) // PAGE
+        end = offset + len(chunk)
+        if end > len(data):
+            data.extend(b"\x00" * (end - len(data)))
+        data[offset:end] = chunk
+        new_pages = (len(data) + PAGE - 1) // PAGE
+        self.pages_allocated += new_pages - old_pages
+        return new_pages - old_pages

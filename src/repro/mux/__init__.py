@@ -1,0 +1,16 @@
+"""Tile multiplexing.
+
+* :mod:`repro.mux.tilemux` — M3v's tile-local multiplexer (section 3.3,
+  4.2): schedules resident activities, handles TMCalls and core
+  requests, maintains the vDTU TLB and page tables.
+* :mod:`repro.mux.api` — the activity-side library ("m3 standard
+  library"): message gates, RPC, syscalls, blocking receive.
+* :mod:`repro.mux.m3x` — the M3x baseline: a thin RCTMux per tile with
+  all scheduling and endpoint save/restore performed remotely by the
+  controller (section 2.2), including slow-path message forwarding.
+"""
+
+from repro.mux.api import ActivityApi, TmCall
+from repro.mux.tilemux import TileMux
+
+__all__ = ["ActivityApi", "TmCall", "TileMux"]

@@ -1,0 +1,254 @@
+"""The activity-side library.
+
+Programs are generator functions ``def program(api): ...`` that yield
+either simulation events (synchronous stalls: compute, DTU commands) or
+:class:`TmCall` markers, which the tile's multiplexer intercepts and
+services (block, yield, exit, translate) — the software equivalent of
+the ``ecall`` trap (section 3.3).
+
+The library implements the paper's user-level policies:
+
+* blocking receive consults the multiplexer's shared-memory hint and
+  only traps when other activities are ready; otherwise it polls the
+  vDTU (section 3.7);
+* commands that fail with a translation fault trap to TileMux to fill
+  the vDTU TLB, then retry (section 3.6);
+* transfers are chunked to a single page (section 3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional
+
+from repro.dtu import DtuError, DtuFault, Perm
+from repro.dtu.message import Message
+from repro.kernel.activity import PAGE_SIZE
+from repro.kernel.protocol import RpcMsg, RpcReply, Syscall, SyscallMsg
+
+
+@dataclass
+class TmCall:
+    """A trap into the tile multiplexer."""
+
+    op: str                      # block | yield | exit | translate | wait_dev
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class RpcError(Exception):
+    """A service RPC or system call returned an error."""
+
+
+class ActivityApi:
+    """Bound to one activity by the multiplexer at CREATE_ACT time."""
+
+    # default chunk after which long computations hit an op boundary
+    COMPUTE_CHUNK_CYCLES = 100_000
+
+    def __init__(self, mux, act):
+        self.mux = mux
+        self.act = act
+        self.vdtu = mux.vdtu
+        self.sim = mux.sim
+        self.costs = mux.costs
+        self.clock = mux.costs.clock
+
+    # ------------------------------------------------------------- compute
+
+    def compute(self, cycles: int) -> Generator:
+        """Burn CPU time, chunked so preemption and IRQs stay timely."""
+        remaining = int(cycles)
+        while remaining > 0:
+            chunk = min(remaining, self.COMPUTE_CHUNK_CYCLES)
+            yield self.sim.timeout(self.clock.cycles_to_ps(chunk))
+            remaining -= chunk
+
+    def compute_us(self, us: float) -> Generator:
+        yield from self.compute(round(self.clock.us_to_cycles(us)))
+
+    # --------------------------------------------------------------- memory
+
+    def alloc_buf(self, size: int) -> int:
+        """Allocate a virtual buffer (page aligned)."""
+        return self.act.addrspace.alloc_virt(size)
+
+    def touch(self, virt: int, perm: Perm = Perm.RW) -> Generator:
+        """Ensure a page is mapped + in the vDTU TLB (may page-fault).
+
+        The TMCall returns True once the TLB is filled, None after a
+        page fault was resolved by the pager (retry the translation),
+        and False for an unresolvable fault.
+        """
+        while True:
+            ok = yield TmCall("translate", {"virt": virt, "perm": perm})
+            if ok:
+                return
+            if ok is False:
+                raise RpcError(f"unresolvable fault at {virt:#x}")
+
+    def _retry_translation(self, virt: int, perm: Perm) -> Generator:
+        yield from self.touch(virt, perm)
+
+    # -------------------------------------------------------------- messaging
+
+    def send(self, ep: int, data: Any, size: int,
+             reply_ep: Optional[int] = None, virt: int = 0) -> Generator:
+        """SEND with translation-retry and credit-wait; charges library
+        overhead.  Waiting for credits models the library's spin on the
+        send endpoint until the consumer acknowledges older messages."""
+        yield from self.compute(self.costs.lib_send)
+        while True:
+            try:
+                yield from self.vdtu.cmd_send(ep, data, size,
+                                              reply_ep=reply_ep, virt_addr=virt)
+                return
+            except DtuFault as fault:
+                if fault.error is DtuError.TRANSLATION_FAULT:
+                    yield from self._retry_translation(virt, Perm.R)
+                    continue
+                if fault.error is DtuError.MISSING_CREDITS:
+                    if self.mux.others_ready(self.act):
+                        yield TmCall("yield", {})
+                    else:
+                        yield self.sim.timeout(5_000_000)  # re-poll in 5 us
+                    yield from self.compute(self.costs.lib_poll)
+                    continue
+                raise
+
+    def fetch(self, ep: int) -> Generator:
+        yield from self.compute(self.costs.lib_fetch)
+        msg = yield from self.vdtu.cmd_fetch(ep)
+        return msg
+
+    def recv(self, ep: int) -> Generator:
+        """Blocking receive (section 3.7).
+
+        Polls while no other activity is ready (so blocking would only
+        idle the core); traps to TileMux to block otherwise.
+        """
+        refused = 0
+        while True:
+            msg = yield from self.fetch(ep)
+            if msg is not None:
+                return msg
+            if self.mux.others_ready(self.act):
+                blocked = yield TmCall("block", {})
+                if blocked is False:
+                    # TileMux refused: this activity has unread messages —
+                    # but not on *this* endpoint (first refusal may be the
+                    # awaited message racing in; re-fetch shows).  Spinning
+                    # would burn the whole timeslice, so yield the core.
+                    refused += 1
+                    if refused >= 2:
+                        yield TmCall("yield", {})
+                        refused = 0
+            else:
+                # poll the vDTU (3.7): the core spins on CUR_ACT; waiting
+                # on the poll signal models continuous polling without
+                # simulating every spin iteration
+                yield self.mux.poll_signal()
+                yield from self.compute(self.costs.lib_poll)
+
+    def reply(self, ep: int, msg: Message, data: Any, size: int,
+              virt: int = 0) -> Generator:
+        yield from self.compute(self.costs.lib_reply)
+        while True:
+            try:
+                yield from self.vdtu.cmd_reply(ep, msg, data, size, virt_addr=virt)
+                return
+            except DtuFault as fault:
+                if fault.error is DtuError.TRANSLATION_FAULT:
+                    yield from self._retry_translation(virt, Perm.R)
+                    continue
+                raise
+
+    def ack(self, ep: int, msg: Message) -> Generator:
+        yield from self.compute(self.costs.lib_ack)
+        yield from self.vdtu.cmd_ack(ep, msg)
+
+    def call(self, send_ep: int, reply_ep: int, data: Any, size: int) -> Generator:
+        """RPC: send, await the reply, ack it; returns the reply payload."""
+        yield from self.send(send_ep, data, size, reply_ep=reply_ep)
+        msg = yield from self.recv(reply_ep)
+        yield from self.ack(reply_ep, msg)
+        return msg.data
+
+    def rpc(self, send_ep: int, reply_ep: int, op: Any,
+            args: Optional[Dict[str, Any]] = None,
+            size: int = RpcMsg.SIZE) -> Generator:
+        """Service RPC with error decoding; returns the reply value."""
+        req = RpcMsg(op=op, args=args or {})
+        reply: RpcReply = yield from self.call(send_ep, reply_ep, req, size)
+        if not reply.ok:
+            raise RpcError(f"{op}: {reply.error}")
+        return reply.value
+
+    # ------------------------------------------------------------ memory gates
+
+    def read(self, ep: int, offset: int, size: int, virt: int = 0) -> Generator:
+        """READ via a memory endpoint, chunked to single pages."""
+        chunks = []
+        done = 0
+        while done < size:
+            chunk = min(PAGE_SIZE, size - done)
+            while True:
+                try:
+                    data = yield from self.vdtu.cmd_read(
+                        ep, offset + done, chunk, virt_addr=virt)
+                    break
+                except DtuFault as fault:
+                    if fault.error is DtuError.TRANSLATION_FAULT:
+                        yield from self._retry_translation(virt, Perm.W)
+                        continue
+                    raise
+            chunks.append(data)
+            done += chunk
+        return b"".join(chunks)
+
+    def write(self, ep: int, offset: int, data: bytes, virt: int = 0) -> Generator:
+        """WRITE via a memory endpoint, chunked to single pages."""
+        done = 0
+        while done < len(data):
+            chunk = data[done:done + PAGE_SIZE]
+            while True:
+                try:
+                    yield from self.vdtu.cmd_write(ep, offset + done, chunk,
+                                                   virt_addr=virt)
+                    break
+                except DtuFault as fault:
+                    if fault.error is DtuError.TRANSLATION_FAULT:
+                        yield from self._retry_translation(virt, Perm.R)
+                        continue
+                    raise
+            done += len(chunk)
+
+    # --------------------------------------------------------------- syscalls
+
+    def syscall(self, op: Syscall, args: Optional[Dict[str, Any]] = None) -> Generator:
+        """A system call to the controller (a DTU message, section 3.3)."""
+        yield from self.compute(self.costs.lib_syscall)
+        msg = SyscallMsg(op, args or {})
+        yield from self.send(self.act.sysc_sep, msg, SyscallMsg.SIZE,
+                             reply_ep=self.act.sysc_rep)
+        reply_msg = yield from self.recv(self.act.sysc_rep)
+        yield from self.ack(self.act.sysc_rep, reply_msg)
+        reply = reply_msg.data
+        if not reply.ok:
+            raise RpcError(f"syscall {op.value}: {reply.error}")
+        return reply.value
+
+    # ------------------------------------------------------------- scheduling
+
+    def block(self) -> Generator:
+        """Block until a message arrives for this activity."""
+        yield TmCall("block", {})
+
+    def yield_cpu(self) -> Generator:
+        yield TmCall("yield", {})
+
+    def sleep_us(self, us: float) -> Generator:
+        """Sleep without occupying the core (device-driver style wait)."""
+        yield TmCall("sleep", {"ps": round(us * 1_000_000)})
+
+    def exit(self, code: int = 0) -> Generator:
+        yield TmCall("exit", {"code": code})

@@ -1,0 +1,132 @@
+"""The NoC fabric: links with bandwidth and backpressure.
+
+Time base: the whole platform simulation runs in integer **picoseconds**
+so tiles with different clock frequencies (100 MHz Rocket, 80 MHz BOOM,
+3 GHz gem5 x86) compose without rounding drift.
+
+Each directed link serializes packets (``wire_size / bandwidth``) and
+adds a per-hop latency.  Every tile attachment has a bounded input
+queue; when it fills up, deliveries stall the upstream link — this is
+the packet-based flow control that resolves vDTU core-request queue
+overruns (section 3.8 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Optional, Tuple
+
+from repro.sim import Channel, Simulator
+from repro.sim.stats import StatRegistry
+from repro.noc.packet import Packet
+from repro.noc.topology import Topology
+
+PS_PER_NS = 1_000
+
+
+@dataclass(frozen=True)
+class NocParams:
+    """Physical parameters of the interconnect."""
+
+    hop_latency_ps: int = 8_000         # per link traversal (8 ns)
+    bytes_per_ns: int = 8               # link bandwidth
+    tile_queue_depth: int = 16          # per-tile input buffer (packets)
+
+    def transfer_ps(self, wire_bytes: int) -> int:
+        """Serialization delay of a packet on one link."""
+        return (wire_bytes * PS_PER_NS + self.bytes_per_ns - 1) // self.bytes_per_ns
+
+
+class _Link:
+    """A directed link: FIFO serialization with a busy-until horizon."""
+
+    __slots__ = ("busy_until",)
+
+    def __init__(self) -> None:
+        self.busy_until = 0
+
+
+class NocFabric:
+    """Routes packets between tile attachments over a topology."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 params: Optional[NocParams] = None,
+                 stats: Optional[StatRegistry] = None):
+        self.sim = sim
+        self.topology = topology
+        self.params = params or NocParams()
+        self.stats = stats or StatRegistry()
+        self._links: Dict[Tuple[str, int, int], _Link] = {}
+        self._inboxes: Dict[int, Channel] = {}
+        self._sinks: Dict[int, Callable[[Packet], None]] = {}
+
+    # -- attachment -----------------------------------------------------------
+
+    def attach(self, tile: int) -> Channel:
+        """Attach a tile; returns its bounded input queue.
+
+        The owner (a DTU model) consumes packets from the returned
+        channel.  A full queue exerts backpressure on the fabric.
+        """
+        if tile in self._inboxes:
+            raise ValueError(f"tile {tile} already attached")
+        inbox = Channel(self.sim, capacity=self.params.tile_queue_depth,
+                        name=f"noc-inbox-{tile}")
+        self._inboxes[tile] = inbox
+        return inbox
+
+    def inbox(self, tile: int) -> Channel:
+        return self._inboxes[tile]
+
+    # -- transfer -------------------------------------------------------------
+
+    def send(self, packet: Packet):
+        """Inject ``packet``; returns the delivery Process (an Event).
+
+        The event fires once the packet has been enqueued at the
+        destination tile (i.e. accepted by its input queue).
+        """
+        if packet.dst not in self._inboxes:
+            raise ValueError(f"destination tile {packet.dst} not attached")
+        return self.sim.process(self._transfer(packet), name=f"pkt{packet.pid}")
+
+    def _link(self, kind: str, a: int, b: int) -> _Link:
+        key = (kind, a, b)
+        link = self._links.get(key)
+        if link is None:
+            link = self._links[key] = _Link()
+        return link
+
+    def _traverse(self, link: _Link, wire_bytes: int) -> Generator:
+        """Occupy one link: wait for it, serialize, add hop latency."""
+        now = self.sim.now
+        start = max(now, link.busy_until)
+        transfer = self.params.transfer_ps(wire_bytes)
+        link.busy_until = start + transfer
+        yield self.sim.timeout(start - now + transfer + self.params.hop_latency_ps)
+
+    def _transfer(self, packet: Packet) -> Generator:
+        topo = self.topology
+        src_router = topo.router_of(packet.src)
+        dst_router = topo.router_of(packet.dst)
+        wire = packet.wire_size
+
+        # tile -> router injection link
+        yield from self._traverse(self._link("inj", packet.src, src_router), wire)
+        # router-to-router hops
+        rpath = topo.router_path(src_router, dst_router)
+        for a, b in zip(rpath, rpath[1:]):
+            yield from self._traverse(self._link("rtr", a, b), wire)
+        # router -> tile ejection link; blocking put = backpressure
+        yield from self._traverse(self._link("ej", dst_router, packet.dst), wire)
+        yield self._inboxes[packet.dst].put(packet)
+        self.stats.counter("noc/packets").add()
+        self.stats.counter("noc/bytes").add(wire)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def latency_estimate_ps(self, src: int, dst: int, payload_bytes: int) -> int:
+        """Uncontended end-to-end latency estimate (for tests/docs)."""
+        hops = self.topology.hops(src, dst)
+        per_hop = self.params.transfer_ps(payload_bytes + 16) + self.params.hop_latency_ps
+        return hops * per_hop

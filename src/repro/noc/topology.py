@@ -1,0 +1,102 @@
+"""NoC topologies.
+
+The FPGA prototype connects 11 tiles through four routers arranged as a
+2x2 star-mesh (Figure 4): routers form a square; each router serves a
+"star" of locally attached tiles.  We also provide a generic mesh for
+scalability experiments beyond the FPGA's tile count (the gem5
+configuration in section 6.4 uses up to 13 tiles).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+class Topology:
+    """Maps tiles to routers and yields router-level routes.
+
+    Subclasses fill ``_tile_router`` (tile id -> router id) and
+    ``_adjacency`` (router id -> list of neighbour router ids).
+    """
+
+    def __init__(self) -> None:
+        self._tile_router: Dict[int, int] = {}
+        self._adjacency: Dict[int, List[int]] = {}
+        self._route_cache: Dict[Tuple[int, int], List[int]] = {}
+
+    @property
+    def routers(self) -> List[int]:
+        return sorted(self._adjacency)
+
+    def attach_tile(self, tile: int, router: int) -> None:
+        if tile in self._tile_router:
+            raise ValueError(f"tile {tile} already attached")
+        if router not in self._adjacency:
+            raise ValueError(f"unknown router {router}")
+        self._tile_router[tile] = router
+
+    def router_of(self, tile: int) -> int:
+        return self._tile_router[tile]
+
+    def router_path(self, src_router: int, dst_router: int) -> List[int]:
+        """Shortest router path (inclusive of both ends), BFS + cache."""
+        key = (src_router, dst_router)
+        if key in self._route_cache:
+            return self._route_cache[key]
+        if src_router == dst_router:
+            path = [src_router]
+        else:
+            # BFS over the (tiny) router graph
+            frontier = [[src_router]]
+            seen = {src_router}
+            path = []
+            while frontier and not path:
+                trail = frontier.pop(0)
+                for nxt in self._adjacency[trail[-1]]:
+                    if nxt in seen:
+                        continue
+                    if nxt == dst_router:
+                        path = trail + [nxt]
+                        break
+                    seen.add(nxt)
+                    frontier.append(trail + [nxt])
+            if not path:
+                raise ValueError(f"no path {src_router} -> {dst_router}")
+        self._route_cache[key] = path
+        return path
+
+    def hops(self, src_tile: int, dst_tile: int) -> int:
+        """Total link traversals tile -> ... -> tile."""
+        rpath = self.router_path(self.router_of(src_tile), self.router_of(dst_tile))
+        # tile->router link + router-to-router links + router->tile link
+        return 2 + (len(rpath) - 1)
+
+
+class StarMeshTopology(Topology):
+    """The 2x2 star-mesh of the FPGA platform.
+
+    Four routers on a square (0-1, 1-3, 3-2, 2-0 plus both diagonals are
+    NOT connected; the paper's figure shows a square of four routers).
+    Tiles are distributed round-robin over the routers unless an
+    explicit placement is given.
+    """
+
+    def __init__(self, tiles: Sequence[int], placement: Dict[int, int] = None):
+        super().__init__()
+        square = {0: [1, 2], 1: [0, 3], 2: [0, 3], 3: [1, 2]}
+        for router, neighbours in square.items():
+            self._adjacency[router] = list(neighbours)
+        if placement is None:
+            placement = {tile: i % 4 for i, tile in enumerate(tiles)}
+        for tile in tiles:
+            self.attach_tile(tile, placement[tile])
+
+
+class SingleRouterTopology(Topology):
+    """All tiles on one router — the degenerate small-platform case."""
+
+    def __init__(self, tiles: Sequence[int]):
+        super().__init__()
+        self._adjacency[0] = []
+        for tile in tiles:
+            self.attach_tile(tile, 0)

@@ -1,0 +1,11 @@
+"""POSIX shim (the musl port of section 6).
+
+A uniform file/socket API over both systems, so the same application
+code (traceplayer, LevelDB-like store, voice assistant) runs on M3v —
+where calls translate to m3fs/net RPCs and direct vDTU transfers — and
+on the Linux baseline, where every call is a system call.
+"""
+
+from repro.posix.vfs import LinuxVfs, M3vVfs, Vfs
+
+__all__ = ["Vfs", "M3vVfs", "LinuxVfs"]

@@ -1,0 +1,294 @@
+"""The m3fs service and its client library.
+
+m3fs is M3's extent-based in-memory file system.  Its defining
+property (sections 2.2, 6.3): a read or write request does not move
+data through the service.  Instead the service *grants the client
+direct access to an entire extent* by deriving a memory gate over the
+extent's byte range and delegating it; the client then reads/writes the
+data via its vDTU without involving the file system again until it
+crosses into the next extent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.dtu.endpoints import Perm
+from repro.kernel.protocol import RpcReply, Syscall
+from repro.services.fsdata import BLOCK_SIZE, FsError, FsImage, Inode, InodeKind
+
+
+class FsOp(enum.Enum):
+    OPEN = "open"
+    CLOSE = "close"
+    STAT = "stat"
+    NEXT_EXTENT = "next_extent"
+    MKDIR = "mkdir"
+    READDIR = "readdir"
+    UNLINK = "unlink"
+    CREATE = "create"
+
+
+# flags
+O_RDONLY = 0
+O_WRONLY = 1
+O_RDWR = 2
+O_CREAT = 64
+O_TRUNC = 512
+
+# cycle costs of service-side request processing (calibrated; the fs is
+# a real implementation, these model the Rust service's CPU time)
+OP_BASE_CY = 900
+OPEN_CY = 2200
+NEXT_EXTENT_CY = 1600
+DIR_ENTRY_CY = 120
+
+
+@dataclass
+class _OpenFile:
+    inode: Inode
+    flags: int
+    client: int
+
+
+class M3fsService:
+    """Service state + the activity program that serves requests."""
+
+    def __init__(self, image: FsImage, image_ep: int, image_sel: int,
+                 rgate_ep: int, max_extent_blocks: int = 64):
+        self.image = image
+        self.image_ep = image_ep       # fs's own memory EP onto the image
+        self.image_sel = image_sel     # fs's mgate capability selector
+        self.rgate_ep = rgate_ep
+        self.max_extent_blocks = max_extent_blocks
+        self._files: Dict[int, _OpenFile] = {}
+        self._next_fd = 3
+
+    # ------------------------------------------------------------- the program
+
+    def program(self, api) -> Generator:
+        """The m3fs activity: serve requests forever."""
+        while True:
+            msg = yield from api.recv(self.rgate_ep)
+            req = msg.data
+            try:
+                value = yield from self._dispatch(api, msg.label, req)
+                reply = RpcReply(req.seq, ok=True, value=value)
+            except FsError as exc:
+                reply = RpcReply(req.seq, ok=False, error=str(exc))
+            yield from api.reply(self.rgate_ep, msg, reply, RpcReply.SIZE)
+
+    def _dispatch(self, api, client: int, req) -> Generator:
+        yield from api.compute(OP_BASE_CY)
+        op = req.op
+        args = req.args
+        if op is FsOp.OPEN:
+            return (yield from self._open(api, client, args))
+        if op is FsOp.CLOSE:
+            return self._close(args)
+        if op is FsOp.STAT:
+            inode = self.image.lookup(args["path"])
+            return {"size": inode.size, "kind": inode.kind.value,
+                    "ino": inode.ino}
+        if op is FsOp.NEXT_EXTENT:
+            return (yield from self._next_extent(api, client, args))
+        if op is FsOp.MKDIR:
+            self.image.mkdir(args["path"])
+            return None
+        if op is FsOp.READDIR:
+            names = self.image.readdir(args["path"])
+            yield from api.compute(DIR_ENTRY_CY * max(1, len(names)))
+            return names
+        if op is FsOp.UNLINK:
+            self.image.unlink(args["path"])
+            return None
+        if op is FsOp.CREATE:
+            inode = self.image.create(args["path"])
+            return {"ino": inode.ino}
+        raise FsError(f"unknown op {op}")
+
+    def _open(self, api, client: int, args) -> Generator:
+        yield from api.compute(OPEN_CY)
+        path, flags = args["path"], args.get("flags", O_RDONLY)
+        try:
+            inode = self.image.lookup(path)
+        except FsError:
+            if not flags & O_CREAT:
+                raise
+            inode = self.image.create(path)
+        if inode.kind is InodeKind.DIR and flags & (O_WRONLY | O_RDWR):
+            raise FsError(f"{path}: is a directory")
+        if flags & O_TRUNC and inode.kind is InodeKind.FILE:
+            for extent in inode.extents:
+                self.image.alloc.free_extent(extent)
+            inode.extents.clear()
+            inode.size = 0
+        fd = self._next_fd
+        self._next_fd += 1
+        self._files[fd] = _OpenFile(inode, flags, client)
+        return {"fd": fd, "size": inode.size}
+
+    def _close(self, args) -> Optional[dict]:
+        fd = args["fd"]
+        open_file = self._files.pop(fd, None)
+        if open_file is None:
+            raise FsError(f"bad fd {fd}")
+        size = args.get("size")
+        if size is not None and size > open_file.inode.size:
+            open_file.inode.size = size
+        return None
+
+    def _next_extent(self, api, client: int, args) -> Generator:
+        """The heart of m3fs: locate (or allocate) the extent covering
+        ``offset`` and delegate a memory gate over it to the client."""
+        yield from api.compute(NEXT_EXTENT_CY)
+        open_file = self._files.get(args["fd"])
+        if open_file is None:
+            raise FsError(f"bad fd {args['fd']}")
+        inode = open_file.inode
+        offset = args["offset"]
+        for_write = args.get("for_write", False)
+        if args.get("size") is not None and args["size"] > inode.size:
+            inode.size = args["size"]  # client reports growth so far
+
+        located = inode.extent_at(offset)
+        if located is None:
+            if not for_write:
+                return None  # EOF
+            if offset != inode.allocated_bytes:
+                raise FsError("sparse writes are not supported")
+            want = (args.get("want_bytes", BLOCK_SIZE) + BLOCK_SIZE - 1) \
+                // BLOCK_SIZE
+            extent = self.image.append_extent(inode, want,
+                                              self.max_extent_blocks)
+            # allocated blocks must be cleared before handing them out
+            # (this is why writes are much slower than reads, section 6.3)
+            yield from api.write(self.image_ep, extent.byte_offset,
+                                 b"\x00" * extent.bytes)
+            ext_file_off = offset
+        else:
+            extent, into = located
+            ext_file_off = offset - into
+
+        perm = Perm.RW if for_write else Perm.R
+        sel = yield from api.syscall(Syscall.DERIVE_MGATE, {
+            "mgate_sel": self.image_sel, "offset": extent.byte_offset,
+            "size": extent.bytes, "perm": perm})
+        client_sel = yield from api.syscall(Syscall.DELEGATE, {
+            "sel": sel, "target_act": client})
+        return {"sel": client_sel, "ext_off": ext_file_off,
+                "ext_len": extent.bytes}
+
+
+class FsClient:
+    """Client-side file handle layer (what the musl port calls into).
+
+    Keeps one data endpoint and the currently granted extent window
+    per file; only crossing an extent boundary costs an RPC + two
+    controller syscalls.
+    """
+
+    # client-side bookkeeping per read/write call (buffered-IO layer)
+    CALL_CY = 700
+
+    def __init__(self, api, send_ep: int, reply_ep: int, data_ep: int):
+        self.api = api
+        self.send_ep = send_ep
+        self.reply_ep = reply_ep
+        self.data_ep = data_ep
+        self._pos: Dict[int, int] = {}
+        self._size: Dict[int, int] = {}
+        self._window: Dict[int, Tuple[int, int, bool]] = {}  # fd -> (off, len, rw)
+        self._dirty: Dict[int, bool] = {}
+        self._ep_owner: int = -1  # fd whose extent the data EP points at
+
+    def _rpc(self, op: FsOp, args: dict) -> Generator:
+        value = yield from self.api.rpc(self.send_ep, self.reply_ep, op, args)
+        return value
+
+    # -------------------------------------------------------------- operations
+
+    def open(self, path: str, flags: int = O_RDONLY) -> Generator:
+        value = yield from self._rpc(FsOp.OPEN, {"path": path, "flags": flags})
+        fd = value["fd"]
+        self._pos[fd] = 0
+        self._size[fd] = value["size"]
+        self._window.pop(fd, None)
+        return fd
+
+    def close(self, fd: int) -> Generator:
+        size = self._size.get(fd)
+        yield from self._rpc(FsOp.CLOSE, {"fd": fd, "size": size})
+        for table in (self._pos, self._size, self._window, self._dirty):
+            table.pop(fd, None)
+
+    def stat(self, path: str) -> Generator:
+        return (yield from self._rpc(FsOp.STAT, {"path": path}))
+
+    def mkdir(self, path: str) -> Generator:
+        yield from self._rpc(FsOp.MKDIR, {"path": path})
+
+    def readdir(self, path: str) -> Generator:
+        return (yield from self._rpc(FsOp.READDIR, {"path": path}))
+
+    def unlink(self, path: str) -> Generator:
+        yield from self._rpc(FsOp.UNLINK, {"path": path})
+
+    def seek(self, fd: int, pos: int) -> None:
+        self._pos[fd] = pos
+
+    def size(self, fd: int) -> int:
+        return self._size[fd]
+
+    def _ensure_window(self, fd: int, for_write: bool) -> Generator:
+        """Make the extent window cover the current position."""
+        pos = self._pos[fd]
+        window = self._window.get(fd)
+        if window is not None and self._ep_owner == fd:
+            off, length, rw = window
+            if off <= pos < off + length and (rw or not for_write):
+                return True
+        value = yield from self._rpc(FsOp.NEXT_EXTENT, {
+            "fd": fd, "offset": pos, "for_write": for_write,
+            "want_bytes": 64 * BLOCK_SIZE, "size": self._size.get(fd)})
+        if value is None:
+            return False  # EOF
+        yield from self.api.syscall(Syscall.ACTIVATE,
+                                    {"sel": value["sel"],
+                                     "ep_id": self.data_ep})
+        self._window[fd] = (value["ext_off"], value["ext_len"], for_write)
+        self._ep_owner = fd
+        return True
+
+    def read(self, fd: int, n: int) -> Generator:
+        """POSIX-style read of up to ``n`` bytes at the current position."""
+        yield from self.api.compute(self.CALL_CY)
+        pos = self._pos[fd]
+        n = min(n, self._size[fd] - pos)
+        if n <= 0:
+            return b""
+        if not (yield from self._ensure_window(fd, for_write=False)):
+            return b""
+        off, length, _ = self._window[fd]
+        n = min(n, off + length - pos)
+        data = yield from self.api.read(self.data_ep, pos - off, n)
+        self._pos[fd] = pos + n
+        return data
+
+    def write(self, fd: int, data: bytes) -> Generator:
+        """POSIX-style write at the current position (append-oriented)."""
+        yield from self.api.compute(self.CALL_CY)
+        done = 0
+        while done < len(data):
+            pos = self._pos[fd]
+            if not (yield from self._ensure_window(fd, for_write=True)):
+                raise FsError("no extent for write")
+            off, length, _ = self._window[fd]
+            chunk = data[done:done + (off + length - pos)]
+            yield from self.api.write(self.data_ep, pos - off, chunk)
+            done += len(chunk)
+            self._pos[fd] = pos + len(chunk)
+            self._size[fd] = max(self._size[fd], self._pos[fd])
+        return len(data)

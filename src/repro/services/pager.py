@@ -1,0 +1,82 @@
+"""The pager service (section 4.3).
+
+The pager is an ordinary OS-service activity responsible for the
+address-space layout of the activities under its care (demand loading,
+and the policy half of copy-on-write).  On a page fault TileMux sends a
+request to the pager; the pager picks a frame from the client's memory
+grant and asks the *controller* to map it (a ``MAP`` system call).  The
+controller validates the capabilities and forwards the mapping to the
+TileMux responsible for the client — the controller never touches page
+tables itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator
+
+from repro.kernel.activity import PAGE_SIZE
+from repro.kernel.protocol import PagerOp, RpcReply, Syscall
+
+PF_HANDLE_CY = 1400      # fault decode, region lookup, frame choice
+ZERO_FILL_CY = 600       # zero-fill policy bookkeeping
+
+
+@dataclass
+class PagerClient:
+    """Per-client session state (registered at spawn time)."""
+
+    act_id: int
+    mgate_sel: int            # pager-owned mgate over the client's frames
+    base_virt: int            # start of the demand-paged region
+    frames: int               # total frames in the grant
+    mapped: Dict[int, int] = field(default_factory=dict)  # vpage -> frame
+
+
+class PagerService:
+    """Service state + activity program."""
+
+    def __init__(self, rgate_ep: int):
+        self.rgate_ep = rgate_ep
+        self.clients: Dict[int, PagerClient] = {}
+        self.faults_handled = 0
+
+    def register(self, client: PagerClient) -> None:
+        self.clients[client.act_id] = client
+
+    def program(self, api) -> Generator:
+        while True:
+            msg = yield from api.recv(self.rgate_ep)
+            req = msg.data
+            try:
+                value = yield from self._dispatch(api, req)
+                reply = RpcReply(req.seq, ok=True, value=value)
+            except KeyError as exc:
+                reply = RpcReply(req.seq, ok=False, error=f"no session: {exc}")
+            yield from api.reply(self.rgate_ep, msg, reply, RpcReply.SIZE)
+
+    def _dispatch(self, api, req) -> Generator:
+        if req.op is not PagerOp.PAGEFAULT:
+            raise KeyError(str(req.op))
+        yield from api.compute(PF_HANDLE_CY)
+        args = req.args
+        client = self.clients[args["act_id"]]
+        virt = args["virt"]
+        vpage = virt // PAGE_SIZE
+        frame = client.mapped.get(vpage)
+        if frame is None:
+            frame = (virt - client.base_virt) // PAGE_SIZE
+            if not 0 <= frame < client.frames:
+                raise KeyError(f"fault outside region: {virt:#x}")
+            client.mapped[vpage] = frame
+            yield from api.compute(ZERO_FILL_CY)
+        # ask the controller to apply the mapping (it forwards to TileMux)
+        yield from api.syscall(Syscall.MAP, {
+            "act_id": client.act_id,
+            "virt": vpage * PAGE_SIZE,
+            "mgate_sel": client.mgate_sel,
+            "offset": frame * PAGE_SIZE,
+            "pages": 1,
+        })
+        self.faults_handled += 1
+        return {"virt": virt}

@@ -1,0 +1,46 @@
+"""Discrete-event simulation engine.
+
+A lean, generator-based DES kernel in the style of simpy, built from
+scratch for this reproduction.  Everything in the platform simulation
+(NoC, DTU, cores, OS components) is expressed as :class:`Process`es that
+yield :class:`Event`s to a :class:`Simulator`.
+
+Public surface::
+
+    sim = Simulator()
+    proc = sim.process(my_generator())
+    sim.run(until=1_000_000)
+
+Inside a process generator::
+
+    yield sim.timeout(100)          # sleep 100 time units
+    value = yield some_event        # wait for an event, receive its value
+    yield channel.put(item)         # blocking put into a bounded channel
+    item = yield channel.get()      # blocking get
+"""
+
+from repro.sim.engine import (
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.channel import Channel, ChannelClosed
+from repro.sim.stats import Counter, Histogram, StatRegistry, TimeWeighted
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "Channel",
+    "ChannelClosed",
+    "Counter",
+    "Histogram",
+    "StatRegistry",
+    "TimeWeighted",
+]

@@ -1,0 +1,118 @@
+"""Bounded FIFO channels for inter-process communication in the DES.
+
+Channels model queues with optional capacity: ``put`` blocks while the
+channel is full, ``get`` blocks while it is empty.  They are used for
+software-level mailboxes in the simulation (e.g. the controller's
+request queue); hardware queues with flow control (NoC, DTU receive
+buffers) have their own richer models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class ChannelClosed(Exception):
+    """Raised in getters/putters when the channel is closed."""
+
+
+class Channel:
+    """A FIFO queue with blocking, event-based put/get.
+
+    ``capacity=None`` means unbounded (puts never block).
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` is enqueued."""
+        ev = Event(self.sim)
+        if self._closed:
+            ev.fail(ChannelClosed(self.name))
+            return ev
+        if self._getters:
+            # hand the item straight to the longest-waiting getter
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(None)
+        elif not self.full:
+            self._items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False if the channel is full."""
+        if self._closed:
+            raise ChannelClosed(self.name)
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.full:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+            self._admit_putter()
+        elif self._closed:
+            ev.fail(ChannelClosed(self.name))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple:
+        """Non-blocking get; returns ``(ok, item)``."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def close(self) -> None:
+        """Close the channel; pending and future waiters fail."""
+        if self._closed:
+            return
+        self._closed = True
+        while self._getters:
+            ev = self._getters.popleft()
+            ev.fail(ChannelClosed(self.name))
+            ev.defuse()
+        while self._putters:
+            ev, _ = self._putters.popleft()
+            ev.fail(ChannelClosed(self.name))
+            ev.defuse()
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.full:
+            ev, item = self._putters.popleft()
+            self._items.append(item)
+            ev.succeed(None)

@@ -1,0 +1,335 @@
+"""The discrete-event simulation kernel.
+
+The design mirrors simpy's condition-free core: a :class:`Simulator` owns
+a priority queue of triggered events; a :class:`Process` wraps a Python
+generator and advances it each time an event it waited on fires.
+
+Time is a plain integer (we use picoseconds-free abstract "cycles" or
+nanoseconds depending on the embedding; the engine does not care).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal uses of the simulation API."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event state markers
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; it is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`.  Callbacks attached before the
+    trigger run when the simulator pops the event off its queue.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self._processed = False
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Trigger the event successfully with an optional ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._enqueue(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every waiting process.  If no
+        process waits, the simulator raises it at the end of the step
+        (unless :meth:`defuse` was called).
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() needs an exception instance")
+        self._value = exception
+        self._ok = False
+        self.sim._enqueue(self, delay)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled even if nobody waits on it."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay; created pre-triggered."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        sim._enqueue(self, delay)
+
+
+class Process(Event):
+    """Drives a generator; is itself an event that fires on termination.
+
+    The generator may yield:
+
+    * an :class:`Event` — the process resumes when it triggers, receiving
+      its value (or having its exception raised inside the generator).
+    * ``None`` — the process resumes on the next simulator step (a
+      cooperative yield at the current time).
+    """
+
+    __slots__ = ("gen", "name", "_target", "_resume_handle")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None):
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", None) or repr(gen)
+        self._target: Optional[Event] = None
+        # bootstrap: resume on next step
+        boot = Event(sim)
+        boot.succeed(None)
+        self._wait_on(boot)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        kick = Event(self.sim)
+        kick.fail(Interrupt(cause))
+        kick.defuse()
+        self._wait_on(kick)
+
+    # -- internal machinery -------------------------------------------------
+
+    def _wait_on(self, event: Event) -> None:
+        self._target = event
+        if event.callbacks is None:
+            # already processed: schedule immediate resume
+            kick = Event(self.sim)
+            if event._ok:
+                kick.succeed(event._value)
+            else:
+                event._defused = True
+                kick.fail(event._value)
+                kick.defuse()
+            kick.callbacks.append(self._resume)
+        else:
+            event.callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                result = self.gen.send(event._value)
+            else:
+                event._defused = True
+                result = self.gen.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+
+        if result is None:
+            result = Timeout(self.sim, 0)
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {result!r}, expected Event or None"
+            )
+        if result.sim is not self.sim:
+            raise SimulationError("yielded event belongs to another simulator")
+        self._wait_on(result)
+
+
+class Simulator:
+    """The event loop.  Owns simulated time and the pending-event heap."""
+
+    def __init__(self, start: int = 0):
+        self.now: int = start
+        self._heap: List = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- factories -----------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: Optional[str] = None) -> Process:
+        return Process(self, gen, name)
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event that fires when the first of ``events`` fires.
+
+        Value is the ``(event, value)`` pair of the winner.  Losing
+        events are left untouched (their values remain retrievable).
+        """
+        events = list(events)
+        result = Event(self)
+
+        def _on_fire(ev: Event) -> None:
+            if result.triggered:
+                return
+            if ev._ok:
+                result.succeed((ev, ev._value))
+            else:
+                ev._defused = True
+                result.fail(ev._value)
+                result.defuse()
+
+        for ev in events:
+            if ev.callbacks is None:
+                _on_fire(ev)
+                break
+            ev.callbacks.append(_on_fire)
+        return result
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that fires when all of ``events`` have fired."""
+        events = list(events)
+        result = Event(self)
+        remaining = [len(events)]
+        if not events:
+            result.succeed([])
+            return result
+
+        def _on_fire(ev: Event) -> None:
+            if result.triggered:
+                return
+            if not ev._ok:
+                ev._defused = True
+                result.fail(ev._value)
+                result.defuse()
+                return
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                result.succeed([e._value for e in events])
+
+        for ev in events:
+            if ev.callbacks is None:
+                _on_fire(ev)
+            else:
+                ev.callbacks.append(_on_fire)
+        return result
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: int) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+
+    def step(self) -> None:
+        """Process the next triggered event."""
+        when, _, event = heapq.heappop(self._heap)
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the heap drains or simulated time reaches ``until``."""
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} lies in the past (now={self.now})")
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+
+    def run_until_event(self, event: Event, limit: Optional[int] = None) -> Any:
+        """Run until ``event`` triggers; returns its value.
+
+        ``limit`` guards against runaway simulations.
+        """
+        while not event.triggered:
+            if not self._heap:
+                raise SimulationError("simulation starved before event triggered")
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimulationError(f"event did not trigger before t={limit}")
+            self.step()
+        if not event._ok:
+            event._defused = True
+            raise event._value
+        return event._value
+
+    @property
+    def peek(self) -> Optional[int]:
+        """Time of the next pending event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,49 @@
+"""Tile containers.
+
+A :class:`Tile` bundles the identity, kind, clock and DTU of one tile.
+The software that runs on a processing tile (TileMux + activities, the
+controller, or the Linux kernel model) is attached by the platform
+builder in :mod:`repro.core.platform`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.tiles.costs import CoreClock, CoreCosts
+
+
+class TileKind(enum.Enum):
+    PROCESSING = "processing"    # general-purpose core + vDTU + TileMux
+    CONTROLLER = "controller"    # the communication controller (plain DTU)
+    MEMORY = "memory"            # DRAM interface (plain DTU)
+    ACCELERATOR = "accelerator"  # fixed-function logic (plain DTU)
+    NIC = "nic"                  # processing tile with an attached NIC
+
+
+@dataclass
+class Tile:
+    """One tile of the platform."""
+
+    tile_id: int
+    kind: TileKind
+    costs: Optional[CoreCosts] = None   # None for memory tiles
+    dtu: Any = None                     # Dtu / VDtu / MemoryDtu
+    mux: Any = None                     # TileMux instance (processing tiles)
+    device: Any = None                  # NIC device, accelerator logic, ...
+
+    @property
+    def clock(self) -> CoreClock:
+        if self.costs is None:
+            raise ValueError(f"tile {self.tile_id} ({self.kind.value}) has no core")
+        return self.costs.clock
+
+    @property
+    def is_processing(self) -> bool:
+        return self.kind in (TileKind.PROCESSING, TileKind.NIC)
+
+    def __repr__(self) -> str:
+        core = self.costs.name if self.costs else "-"
+        return f"Tile({self.tile_id}, {self.kind.value}, {core})"

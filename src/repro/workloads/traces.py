@@ -1,0 +1,89 @@
+"""Syscall traces for the traceplayer (section 6.4).
+
+The paper replays Linux-recorded system-call traces of two
+communication-heavy applications against a per-tile file-system
+instance:
+
+* **find** searches through 24 directories with 40 files each —
+  dominated by readdir/stat storms,
+* **SQLite** performs 32 database inserts and selects — dominated by
+  read/write/fsync sequences on the database file and its journal.
+
+We generate statistically equivalent traces: the same call mix and
+counts, with per-call "think time" representing the application's own
+computation between calls (calibrated so single-tile M3v throughput
+matches Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TraceCall:
+    """One replayed system call."""
+
+    op: str                    # open|close|read|write|stat|readdir|mkdir|unlink|fsync
+    path: Optional[str] = None
+    fd: int = -1               # index into the player's fd table
+    size: int = 0              # bytes for read/write
+    think_cycles: int = 0      # app compute before this call
+
+
+def find_trace(dirs: int = 24, files_per_dir: int = 40,
+               think_cycles: int = 25_000) -> List[TraceCall]:
+    """The 'find' workload: walk the tree, stat everything."""
+    calls: List[TraceCall] = [TraceCall("readdir", path="/",
+                                        think_cycles=think_cycles)]
+    for d in range(dirs):
+        dpath = f"/dir{d:02d}"
+        calls.append(TraceCall("stat", path=dpath, think_cycles=think_cycles))
+        calls.append(TraceCall("readdir", path=dpath,
+                               think_cycles=think_cycles))
+        for f in range(files_per_dir):
+            calls.append(TraceCall("stat", path=f"{dpath}/f{f:03d}",
+                                   think_cycles=think_cycles))
+    return calls
+
+
+def find_tree_spec(dirs: int = 24, files_per_dir: int = 40):
+    """The directory tree the find trace expects, as (dirs, files)."""
+    dpaths = [f"/dir{d:02d}" for d in range(dirs)]
+    fpaths = [f"{d}/f{f:03d}" for d in dpaths for f in range(files_per_dir)]
+    return dpaths, fpaths
+
+
+def sqlite_trace(transactions: int = 32, page_size: int = 1024,
+                 think_cycles: int = 30_000) -> List[TraceCall]:
+    """The SQLite workload: 32 inserts and selects.
+
+    Each insert follows SQLite's rollback-journal pattern: open the
+    journal, write the page being changed, fsync, write the database
+    page, fsync, unlink the journal.  Each select reads B-tree pages.
+    """
+    calls: List[TraceCall] = [
+        TraceCall("open", path="/test.db", think_cycles=think_cycles)]
+    db_fd = 0
+    for txn in range(transactions):
+        # INSERT
+        calls.append(TraceCall("open", path="/test.db-journal",
+                               think_cycles=think_cycles))
+        journal_fd = 1
+        calls.append(TraceCall("read", fd=db_fd, size=page_size,
+                               think_cycles=think_cycles // 4))
+        calls.append(TraceCall("write", fd=journal_fd, size=page_size + 8,
+                               think_cycles=think_cycles // 4))
+        calls.append(TraceCall("fsync", fd=journal_fd))
+        calls.append(TraceCall("write", fd=db_fd, size=page_size,
+                               think_cycles=think_cycles // 4))
+        calls.append(TraceCall("fsync", fd=db_fd))
+        calls.append(TraceCall("close", fd=journal_fd))
+        calls.append(TraceCall("unlink", path="/test.db-journal"))
+        # SELECT: walk a few B-tree pages
+        for _ in range(3):
+            calls.append(TraceCall("read", fd=db_fd, size=page_size,
+                                   think_cycles=think_cycles // 4))
+    calls.append(TraceCall("close", fd=db_fd))
+    return calls

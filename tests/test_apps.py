@@ -1,0 +1,98 @@
+"""Tests for the traceplayer and the voice-assistant pieces."""
+
+import numpy as np
+import pytest
+
+from repro.apps.compress import (
+    detect_trigger,
+    make_audio,
+    rice_compress,
+    rice_decompress,
+)
+from repro.apps.traceplayer import TracePlayer
+from repro.linuxsim import LinuxMachine
+from repro.posix.vfs import LinuxVfs
+from repro.workloads.traces import find_trace, find_tree_spec, sqlite_trace
+
+
+def run_player(trace, setup=None):
+    machine = LinuxMachine()
+    out = {}
+
+    def prog(api):
+        vfs = LinuxVfs(api)
+        if setup is not None:
+            yield from setup(api)
+        player = TracePlayer(vfs, api.compute)
+        start = api.sim.now
+        yield from player.play(trace)
+        out["player"] = player
+        out["ps"] = api.sim.now - start
+
+    proc = machine.spawn("player", prog)
+    machine.sim.run_until_event(proc.exit_event, limit=10**16)
+    return out
+
+
+def find_setup(dirs=3, files=4):
+    dpaths, fpaths = find_tree_spec(dirs, files)
+
+    def setup(api):
+        for d in dpaths:
+            yield from api.mkdir(d)
+        for f in fpaths:
+            fd = yield from api.open(f, 64 | 1)  # O_CREAT|O_WRONLY
+            yield from api.close(fd)
+
+    return setup
+
+
+def test_traceplayer_replays_find_trace():
+    trace = find_trace(3, 4)
+    out = run_player(trace, setup=find_setup(3, 4))
+    assert out["player"].runs_completed == 1
+    assert out["player"].calls_replayed == len(trace)
+
+
+def test_traceplayer_replays_sqlite_trace():
+    trace = sqlite_trace(transactions=4)
+    out = run_player(trace)
+    assert out["player"].runs_completed == 1
+    assert out["player"].calls_replayed == len(trace)
+
+
+def test_traceplayer_think_time_costs_time():
+    fast = run_player(sqlite_trace(4, think_cycles=0))["ps"]
+    slow = run_player(sqlite_trace(4, think_cycles=100_000))["ps"]
+    assert slow > fast
+
+
+def test_traceplayer_rejects_unknown_op():
+    from repro.workloads.traces import TraceCall
+
+    with pytest.raises(ValueError):
+        run_player([TraceCall("frobnicate", path="/x")])
+
+
+# ------------------------------------------------------------ audio pieces
+
+
+def test_make_audio_has_triggers_where_asked():
+    audio = make_audio(40_000, trigger_at=[10_000, 30_000])
+    assert detect_trigger(audio[10_000:12_048])
+    assert detect_trigger(audio[30_000:32_048])
+    assert not detect_trigger(audio[0:2048])
+
+
+def test_trigger_detector_threshold():
+    quiet = np.zeros(1024, dtype=np.int16)
+    loud = (np.ones(1024) * 5000).astype(np.int16)
+    assert not detect_trigger(quiet)
+    assert detect_trigger(loud)
+
+
+def test_rice_roundtrip_on_synthetic_audio():
+    audio = make_audio(4096, trigger_at=[1000])
+    frame = rice_compress(audio)
+    assert np.array_equal(rice_decompress(frame), audio)
+    assert len(frame) < 2 * len(audio)  # actually compresses

@@ -1,0 +1,115 @@
+"""Unit tests for the capability system."""
+
+import pytest
+
+from repro.dtu.endpoints import Perm
+from repro.kernel.caps import (
+    CapError,
+    CapKind,
+    CapTable,
+    MGateObj,
+    RGateObj,
+    SGateObj,
+    delegate,
+    revoke,
+)
+
+
+def make_tables(n=3):
+    return {i: CapTable(i) for i in range(1, n + 1)}
+
+
+def test_insert_and_get():
+    table = CapTable(1)
+    obj = RGateObj(slots=4, slot_size=128)
+    cap = table.insert(CapKind.RGATE, obj)
+    assert table.get(cap.sel).obj is obj
+
+
+def test_get_wrong_kind_rejected():
+    table = CapTable(1)
+    cap = table.insert(CapKind.RGATE, RGateObj(4, 128))
+    with pytest.raises(CapError):
+        table.get(cap.sel, CapKind.MGATE)
+
+
+def test_get_unknown_selector_rejected():
+    with pytest.raises(CapError):
+        CapTable(1).get(42)
+
+
+def test_explicit_selector_and_collision():
+    table = CapTable(1)
+    table.insert(CapKind.RGATE, RGateObj(4, 128), sel=10)
+    with pytest.raises(CapError):
+        table.insert(CapKind.RGATE, RGateObj(4, 128), sel=10)
+    # allocator continues past explicit selectors
+    cap = table.insert(CapKind.RGATE, RGateObj(4, 128))
+    assert cap.sel == 11
+
+
+def test_delegate_builds_tree():
+    tables = make_tables()
+    root = tables[1].insert(CapKind.MGATE,
+                            MGateObj(mem_tile=9, base=0, size=4096,
+                                     perm=Perm.RW))
+    child = delegate(root, tables[2])
+    grandchild = delegate(child, tables[3])
+    assert [c.owner for c in root.subtree()] == [1, 2, 3]
+    assert grandchild.obj is root.obj  # same kernel object
+
+
+def test_revoke_removes_whole_subtree():
+    tables = make_tables()
+    root = tables[1].insert(CapKind.MGATE,
+                            MGateObj(mem_tile=9, base=0, size=4096,
+                                     perm=Perm.RW))
+    child = delegate(root, tables[2])
+    delegate(child, tables[3])
+    count = revoke(child, tables)
+    assert count == 2
+    assert child.sel not in tables[2]
+    assert len(tables[3]) == 0
+    # the root survives
+    assert root.sel in tables[1]
+
+
+def test_revoke_calls_hook_for_each_victim():
+    tables = make_tables()
+    root = tables[1].insert(CapKind.RGATE, RGateObj(4, 128))
+    delegate(root, tables[2])
+    victims = []
+    revoke(root, tables, on_revoke=lambda cap: victims.append(cap.owner))
+    assert sorted(victims) == [1, 2]
+
+
+def test_delegate_revoked_cap_rejected():
+    tables = make_tables()
+    root = tables[1].insert(CapKind.RGATE, RGateObj(4, 128))
+    revoke(root, tables)
+    with pytest.raises(CapError):
+        delegate(root, tables[2])
+
+
+def test_mgate_derive_narrows():
+    parent = MGateObj(mem_tile=9, base=1000, size=8192, perm=Perm.RW)
+    child = parent.derive(offset=4096, size=4096, perm=Perm.R)
+    assert child.base == 5096 and child.size == 4096
+    assert child.perm is Perm.R
+
+
+def test_mgate_derive_cannot_widen_or_escape():
+    parent = MGateObj(mem_tile=9, base=0, size=4096, perm=Perm.R)
+    with pytest.raises(CapError):
+        parent.derive(0, 4096, Perm.RW)  # widen perms
+    with pytest.raises(CapError):
+        parent.derive(4000, 4096, Perm.R)  # out of bounds
+
+
+def test_sgate_points_at_rgate():
+    rgate = RGateObj(8, 256)
+    sgate = SGateObj(rgate=rgate, label=7, credits=2)
+    assert sgate.rgate is rgate
+    assert not rgate.activated
+    rgate.tile, rgate.ep = 3, 12
+    assert rgate.activated

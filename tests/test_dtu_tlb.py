@@ -1,0 +1,94 @@
+"""Unit tests for the vDTU's software-loaded TLB."""
+
+import pytest
+
+from repro.dtu import Perm, Tlb
+
+
+def make_tlb(entries=4, page=4096):
+    return Tlb(entries, page)
+
+
+def test_lookup_miss_on_empty():
+    tlb = make_tlb()
+    assert tlb.lookup(1, 0x1000, Perm.R) is None
+    assert tlb.misses == 1 and tlb.hits == 0
+
+
+def test_insert_then_hit_translates_offset():
+    tlb = make_tlb()
+    tlb.insert(1, virt_page=4, phys_page=9, perm=Perm.RW)
+    phys = tlb.lookup(1, 4 * 4096 + 123, Perm.R)
+    assert phys == 9 * 4096 + 123
+    assert tlb.hits == 1
+
+
+def test_translation_is_per_activity():
+    tlb = make_tlb()
+    tlb.insert(1, 4, 9, Perm.RW)
+    assert tlb.lookup(2, 4 * 4096, Perm.R) is None
+
+
+def test_permission_mismatch_is_a_miss():
+    tlb = make_tlb()
+    tlb.insert(1, 4, 9, Perm.R)
+    assert tlb.lookup(1, 4 * 4096, Perm.W) is None
+    assert tlb.lookup(1, 4 * 4096, Perm.R) is not None
+
+
+def test_lru_eviction():
+    tlb = make_tlb(entries=2)
+    tlb.insert(1, 0, 10, Perm.R)
+    tlb.insert(1, 1, 11, Perm.R)
+    tlb.lookup(1, 0, Perm.R)          # touch page 0 -> page 1 becomes LRU
+    tlb.insert(1, 2, 12, Perm.R)      # evicts page 1
+    assert tlb.lookup(1, 1 * 4096, Perm.R) is None
+    assert tlb.lookup(1, 0, Perm.R) is not None
+
+
+def test_reinsert_updates_in_place():
+    tlb = make_tlb(entries=2)
+    tlb.insert(1, 0, 10, Perm.R)
+    tlb.insert(1, 0, 20, Perm.RW)
+    assert len(tlb) == 1
+    assert tlb.lookup(1, 0, Perm.W) == 20 * 4096
+
+
+def test_pinned_entries_survive_eviction():
+    tlb = make_tlb(entries=2)
+    tlb.insert(0, 0, 5, Perm.RW, pinned=True)
+    tlb.insert(1, 1, 6, Perm.R)
+    tlb.insert(1, 2, 7, Perm.R)  # must evict the unpinned entry
+    assert tlb.lookup(0, 0, Perm.R) == 5 * 4096
+    assert tlb.lookup(1, 1 * 4096, Perm.R) is None
+
+
+def test_all_pinned_overflow_raises():
+    tlb = make_tlb(entries=1)
+    tlb.insert(0, 0, 5, Perm.RW, pinned=True)
+    with pytest.raises(RuntimeError):
+        tlb.insert(1, 1, 6, Perm.R)
+
+
+def test_invalidate_single_page():
+    tlb = make_tlb()
+    tlb.insert(1, 0, 10, Perm.R)
+    tlb.insert(1, 1, 11, Perm.R)
+    assert tlb.invalidate(1, virt_page=0) == 1
+    assert tlb.lookup(1, 0, Perm.R) is None
+    assert tlb.lookup(1, 4096, Perm.R) is not None
+
+
+def test_invalidate_whole_activity():
+    tlb = make_tlb()
+    tlb.insert(1, 0, 10, Perm.R)
+    tlb.insert(1, 1, 11, Perm.R)
+    tlb.insert(2, 0, 12, Perm.R)
+    assert tlb.invalidate(1) == 2
+    assert len(tlb) == 1
+    assert tlb.lookup(2, 0, Perm.R) is not None
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        Tlb(0, 4096)

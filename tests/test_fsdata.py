@@ -1,0 +1,125 @@
+"""Unit tests for the m3fs on-disk structures."""
+
+import pytest
+
+from repro.services.fsdata import (
+    BLOCK_SIZE,
+    BlockAllocator,
+    FsError,
+    FsImage,
+    InodeKind,
+)
+
+
+def test_create_and_lookup():
+    fs = FsImage(128)
+    fs.create("/a")
+    assert fs.lookup("/a").kind is InodeKind.FILE
+
+
+def test_nested_paths_need_parents():
+    fs = FsImage(128)
+    with pytest.raises(FsError):
+        fs.create("/no/such/dir/file")
+    fs.mkdir("/no")
+    fs.mkdir("/no/such")
+    fs.mkdir("/no/such/dir")
+    fs.create("/no/such/dir/file")
+    assert fs.lookup("/no/such/dir/file").kind is InodeKind.FILE
+
+
+def test_duplicate_create_rejected():
+    fs = FsImage(128)
+    fs.create("/x")
+    with pytest.raises(FsError):
+        fs.create("/x")
+
+
+def test_readdir_sorted():
+    fs = FsImage(128)
+    fs.mkdir("/d")
+    for name in ("c", "a", "b"):
+        fs.create(f"/d/{name}")
+    assert fs.readdir("/d") == ["a", "b", "c"]
+
+
+def test_readdir_on_file_rejected():
+    fs = FsImage(128)
+    fs.create("/f")
+    with pytest.raises(FsError):
+        fs.readdir("/f")
+
+
+def test_unlink_frees_blocks():
+    fs = FsImage(128)
+    inode = fs.create("/f")
+    fs.append_extent(inode, want_blocks=10, max_blocks=64)
+    used = fs.alloc.used_blocks
+    assert used == 10
+    fs.unlink("/f")
+    assert fs.alloc.used_blocks == 0
+
+
+def test_unlink_nonempty_dir_rejected():
+    fs = FsImage(128)
+    fs.mkdir("/d")
+    fs.create("/d/f")
+    with pytest.raises(FsError):
+        fs.unlink("/d")
+    fs.unlink("/d/f")
+    fs.unlink("/d")
+    assert not any(name == "d" for name in fs.readdir("/"))
+
+
+def test_extent_at_walks_extents():
+    fs = FsImage(128)
+    inode = fs.create("/f")
+    e1 = fs.append_extent(inode, 2, 64)
+    e2 = fs.append_extent(inode, 3, 64)
+    extent, into = inode.extent_at(0)
+    assert extent == e1 and into == 0
+    extent, into = inode.extent_at(2 * BLOCK_SIZE + 5)
+    assert extent == e2 and into == 5
+    assert inode.extent_at(5 * BLOCK_SIZE) is None
+
+
+def test_extent_length_capped():
+    fs = FsImage(1024)
+    inode = fs.create("/f")
+    extent = fs.append_extent(inode, want_blocks=200, max_blocks=64)
+    assert extent.blocks == 64
+
+
+def test_allocator_full_raises():
+    alloc = BlockAllocator(4)
+    alloc.alloc_extent(4, 64)
+    with pytest.raises(FsError):
+        alloc.alloc_extent(1, 64)
+
+
+def test_allocator_returns_shorter_run_when_fragmented():
+    alloc = BlockAllocator(8)
+    a = alloc.alloc_extent(3, 64)
+    b = alloc.alloc_extent(3, 64)
+    alloc.free_extent(a)
+    # only fragmented space: a 3-run and a 2-run; asking for 5 gets less
+    extent = alloc.alloc_extent(5, 64)
+    assert extent.blocks in (2, 3)
+
+
+def test_walk_visits_everything():
+    fs = FsImage(128)
+    fs.mkdir("/d")
+    fs.create("/d/f")
+    fs.create("/g")
+    paths = {path for path, _ in fs.walk()}
+    assert {"/", "/d", "/d/f", "/g"} <= paths
+
+
+def test_sequential_allocations_are_contiguous():
+    """The rotating pointer gives sequential writers long runs."""
+    fs = FsImage(256)
+    inode = fs.create("/f")
+    extents = [fs.append_extent(inode, 16, 64) for _ in range(4)]
+    for a, b in zip(extents, extents[1:]):
+        assert b.start == a.start + a.blocks

@@ -1,0 +1,99 @@
+"""Tests for the report renderer and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.report import bar_chart, render_report, series_chart, shape_checks
+
+
+def test_bar_chart_scales_to_peak():
+    chart = bar_chart("t", {"a": 10.0, "b": 5.0})
+    lines = chart.splitlines()
+    assert lines[0] == "t"
+    assert lines[1].count("#") == 2 * lines[2].count("#")
+
+
+def test_bar_chart_empty():
+    assert "(no data)" in bar_chart("t", {})
+
+
+def test_series_chart_renders_all_points():
+    chart = series_chart("t", {"m3v": {1: 10, 2: 20}, "m3x": {1: 5, 2: 6}})
+    assert "m3v" in chart and "m3x" in chart
+    assert "20" in chart
+
+
+GOOD = {
+    "fig6": {"m3v_remote": {"kcycles": 1.7, "us": 21},
+             "linux_syscall": {"kcycles": 1.8, "us": 22},
+             "m3v_local": {"kcycles": 5.2, "us": 65},
+             "linux_yield_2x": {"kcycles": 5.8, "us": 72}},
+    "fig7": {"m3v_read_shared": 250.0, "linux_read": 70.0,
+             "linux_write": 50.0},
+    "fig9": {"find": {"m3v": {"1": 94, "12": 1128},
+                      "m3x": {"1": 47, "4": 62, "12": 62}}},
+    "fig10": {"scan": {"linux": {"total_s": 2.7},
+                       "m3v_shared": {"total_s": 2.5},
+                       "m3v_isolated": {"total_s": 2.4}}},
+    "voice": {"isolated_ms": 119.0, "shared_ms": 127.0,
+              "overhead_pct": 6.7},
+}
+
+
+def test_shape_checks_pass_on_good_results():
+    assert shape_checks(GOOD) == []
+
+
+def test_shape_checks_catch_broken_scaling():
+    bad = json.loads(json.dumps(GOOD))
+    bad["fig9"]["find"]["m3v"]["12"] = 100  # flat M3v: not the paper
+    failures = shape_checks(bad)
+    assert any("near-linear" in f for f in failures)
+
+
+def test_shape_checks_catch_linux_winning_scans():
+    bad = json.loads(json.dumps(GOOD))
+    bad["fig10"]["scan"]["linux"]["total_s"] = 1.0
+    assert any("scans" in f for f in failures_of(bad))
+
+
+def failures_of(results):
+    return shape_checks(results)
+
+
+def test_render_report_includes_all_sections():
+    text = render_report(GOOD)
+    for needle in ("Figure 6", "Figure 7", "Figure 9", "Figure 10",
+                   "Voice assistant"):
+        assert needle in text
+
+
+def test_cli_area_and_sloc(capsys):
+    assert main(["area"]) == 0
+    out = capsys.readouterr().out
+    assert "vDTU" in out and "10.6%" in out
+    assert main(["sloc"]) == 0
+    assert "controller" in capsys.readouterr().out
+
+
+def test_cli_report_roundtrip(tmp_path, capsys):
+    path = tmp_path / "results.json"
+    path.write_text(json.dumps(GOOD))
+    assert main(["report", str(path)]) == 0
+    assert "all shape checks passed" in capsys.readouterr().out
+
+
+def test_cli_report_flags_failures(tmp_path, capsys):
+    bad = json.loads(json.dumps(GOOD))
+    bad["fig7"]["m3v_read_shared"] = 10.0
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(bad))
+    assert main(["report", str(path)]) == 1
+    assert "SHAPE CHECKS FAILED" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,181 @@
+"""Unit tests for DES channels."""
+
+import pytest
+
+from repro.sim import Channel, ChannelClosed, Simulator
+
+
+def test_put_then_get_fifo_order():
+    sim = Simulator()
+    ch = Channel(sim)
+    got = []
+
+    def producer():
+        for i in range(4):
+            yield ch.put(i)
+            yield sim.timeout(1)
+
+    def consumer():
+        for _ in range(4):
+            got.append((yield ch.get()))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2, 3]
+
+
+def test_get_blocks_until_put():
+    sim = Simulator()
+    ch = Channel(sim)
+    got = []
+
+    def consumer():
+        got.append(((yield ch.get()), sim.now))
+
+    def producer():
+        yield sim.timeout(25)
+        yield ch.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [("late", 25)]
+
+
+def test_bounded_put_blocks_until_space():
+    sim = Simulator()
+    ch = Channel(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield ch.put("a")
+        log.append(("put a", sim.now))
+        yield ch.put("b")
+        log.append(("put b", sim.now))
+
+    def consumer():
+        yield sim.timeout(10)
+        item = yield ch.get()
+        log.append((f"got {item}", sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("put a", 0) in log
+    assert ("put b", 10) in log  # unblocked only after the get
+
+
+def test_capacity_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Channel(sim, capacity=0)
+
+
+def test_try_put_respects_capacity():
+    sim = Simulator()
+    ch = Channel(sim, capacity=2)
+    assert ch.try_put(1)
+    assert ch.try_put(2)
+    assert not ch.try_put(3)
+    assert len(ch) == 2
+
+
+def test_try_get_nonblocking():
+    sim = Simulator()
+    ch = Channel(sim)
+    ok, item = ch.try_get()
+    assert not ok
+    ch.try_put("x")
+    ok, item = ch.try_get()
+    assert ok and item == "x"
+
+
+def test_handoff_to_waiting_getter_bypasses_queue():
+    sim = Simulator()
+    ch = Channel(sim, capacity=1)
+    got = []
+
+    def consumer():
+        got.append((yield ch.get()))
+
+    def producer():
+        yield sim.timeout(1)
+        assert ch.try_put("direct")
+        assert len(ch) == 0  # went straight to the getter
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == ["direct"]
+
+
+def test_close_fails_pending_getters():
+    sim = Simulator()
+    ch = Channel(sim, name="q")
+    outcome = []
+
+    def consumer():
+        try:
+            yield ch.get()
+        except ChannelClosed:
+            outcome.append("closed")
+
+    def closer():
+        yield sim.timeout(5)
+        ch.close()
+
+    sim.process(consumer())
+    sim.process(closer())
+    sim.run()
+    assert outcome == ["closed"]
+
+
+def test_put_after_close_fails():
+    sim = Simulator()
+    ch = Channel(sim)
+    ch.close()
+    outcome = []
+
+    def producer():
+        try:
+            yield ch.put(1)
+        except ChannelClosed:
+            outcome.append("refused")
+
+    sim.process(producer())
+    sim.run()
+    assert outcome == ["refused"]
+
+
+def test_try_put_after_close_raises():
+    sim = Simulator()
+    ch = Channel(sim)
+    ch.close()
+    with pytest.raises(ChannelClosed):
+        ch.try_put(1)
+
+
+def test_many_producers_single_consumer():
+    sim = Simulator()
+    ch = Channel(sim, capacity=4)
+    got = []
+
+    def producer(tag):
+        for i in range(5):
+            yield ch.put((tag, i))
+
+    def consumer():
+        for _ in range(15):
+            got.append((yield ch.get()))
+            yield sim.timeout(1)
+
+    for tag in "abc":
+        sim.process(producer(tag))
+    sim.process(consumer())
+    sim.run()
+    assert len(got) == 15
+    # per-producer order is preserved
+    for tag in "abc":
+        seq = [i for (t, i) in got if t == tag]
+        assert seq == sorted(seq)

@@ -1,0 +1,91 @@
+"""Unit tests for the measurement infrastructure."""
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, StatRegistry, TimeWeighted
+
+
+def test_counter_accumulates():
+    c = Counter("x")
+    c.add()
+    c.add(5)
+    assert c.value == 6
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("x").add(-1)
+
+
+def test_histogram_basic_stats():
+    h = Histogram("lat")
+    for v in (1.0, 2.0, 3.0, 4.0):
+        h.record(v)
+    assert h.count == 4
+    assert h.mean == 2.5
+    assert h.min == 1.0 and h.max == 4.0
+    assert h.total == 10.0
+
+
+def test_histogram_stdev():
+    h = Histogram("lat")
+    for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+        h.record(v)
+    assert h.stdev == pytest.approx(2.138, abs=0.01)
+
+
+def test_histogram_quantile_interpolates():
+    h = Histogram("lat")
+    for v in (0.0, 10.0):
+        h.record(v)
+    assert h.quantile(0.5) == 5.0
+    assert h.quantile(0.0) == 0.0
+    assert h.quantile(1.0) == 10.0
+
+
+def test_histogram_empty_mean_raises():
+    with pytest.raises(ValueError):
+        Histogram("empty").mean
+
+
+def test_histogram_quantile_range_checked():
+    h = Histogram("lat")
+    h.record(1.0)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_time_weighted_mean():
+    g = TimeWeighted("util", now=0, initial=0.0)
+    g.set(1.0, now=10)   # 0 for [0,10)
+    g.set(0.0, now=30)   # 1 for [10,30)
+    assert g.mean(40) == pytest.approx(20 / 40)
+    assert g.current == 0.0
+
+
+def test_time_weighted_adjust():
+    g = TimeWeighted("depth", now=0)
+    g.adjust(+2, now=5)
+    g.adjust(-1, now=10)
+    assert g.current == 1
+
+
+def test_registry_reuses_instances():
+    reg = StatRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.histogram("h") is reg.histogram("h")
+    assert reg.gauge("g") is reg.gauge("g")
+
+
+def test_registry_snapshot():
+    reg = StatRegistry()
+    reg.counter("msgs").add(3)
+    reg.histogram("lat").record(7.0)
+    snap = reg.snapshot()
+    assert snap["count/msgs"] == 3
+    assert snap["mean/lat"] == 7.0
+    assert snap["n/lat"] == 1
+
+
+def test_counter_value_missing_is_zero():
+    assert StatRegistry().counter_value("nope") == 0

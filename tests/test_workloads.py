@@ -1,0 +1,108 @@
+"""Tests for the YCSB generator and the syscall traces."""
+
+import pytest
+
+from repro.workloads import (
+    WORKLOAD_MIXES,
+    YcsbOp,
+    find_trace,
+    make_workload,
+    sqlite_trace,
+)
+from repro.workloads.traces import find_tree_spec
+
+
+def op_share(workload, op):
+    hits = sum(1 for r in workload.requests if r.op is op)
+    return hits / len(workload.requests)
+
+
+def test_workload_sizes_match_paper():
+    w = make_workload("read")
+    assert len(w.records) == 200
+    assert len(w.requests) == 200
+
+
+@pytest.mark.parametrize("mix,dominant", [
+    ("read", YcsbOp.READ), ("insert", YcsbOp.INSERT),
+    ("update", YcsbOp.UPDATE), ("scan", YcsbOp.SCAN),
+])
+def test_dominant_operation_is_about_80_percent(mix, dominant):
+    w = make_workload(mix, records=400, operations=2000, seed=3)
+    assert 0.74 <= op_share(w, dominant) <= 0.86
+
+
+def test_scan_heavy_omits_updates_and_point_heavy_omits_scans():
+    scan = make_workload("scan", operations=500)
+    assert op_share(scan, YcsbOp.UPDATE) == 0
+    read = make_workload("read", operations=500)
+    assert op_share(read, YcsbOp.SCAN) == 0
+
+
+def test_mixed_uses_50_10_30_10():
+    w = make_workload("mixed", records=400, operations=4000, seed=9)
+    assert abs(op_share(w, YcsbOp.READ) - 0.5) < 0.05
+    assert abs(op_share(w, YcsbOp.UPDATE) - 0.3) < 0.05
+    assert abs(op_share(w, YcsbOp.SCAN) - 0.1) < 0.03
+
+
+def test_workload_is_deterministic_per_seed():
+    a = make_workload("mixed", seed=5)
+    b = make_workload("mixed", seed=5)
+    assert [r.key for r in a.requests] == [r.key for r in b.requests]
+    c = make_workload("mixed", seed=6)
+    assert [r.key for r in a.requests] != [r.key for r in c.requests]
+
+
+def test_inserts_use_fresh_keys():
+    w = make_workload("insert", records=50, operations=200, seed=2)
+    existing = {k for k, _ in w.records}
+    inserted = [r.key for r in w.requests if r.op is YcsbOp.INSERT]
+    assert not set(inserted) & existing
+    assert len(set(inserted)) == len(inserted)
+
+
+def test_unknown_mix_rejected():
+    with pytest.raises(ValueError):
+        make_workload("write-only")
+
+
+def test_all_mixes_have_proportions_summing_to_one():
+    for mix, proportions in WORKLOAD_MIXES.items():
+        assert sum(proportions.values()) == pytest.approx(1.0)
+
+
+# --------------------------------------------------------------- traces
+
+
+def test_find_trace_stats_every_file():
+    trace = find_trace(dirs=24, files_per_dir=40)
+    stats = [c for c in trace if c.op == "stat"]
+    # one stat per file + one per directory
+    assert len(stats) == 24 * 40 + 24
+    readdirs = [c for c in trace if c.op == "readdir"]
+    assert len(readdirs) == 25  # root + 24 dirs
+
+
+def test_find_tree_spec_matches_trace():
+    dirs, files = find_tree_spec(6, 10)
+    assert len(dirs) == 6 and len(files) == 60
+    trace = find_trace(6, 10)
+    paths = {c.path for c in trace if c.path}
+    for d in dirs:
+        assert d in paths
+
+
+def test_sqlite_trace_has_journal_pattern():
+    trace = sqlite_trace(transactions=32)
+    assert sum(1 for c in trace if c.op == "fsync") == 64   # 2 per insert
+    assert sum(1 for c in trace if c.op == "unlink") == 32  # journal delete
+    opens = [c for c in trace if c.op == "open"]
+    assert opens[0].path == "/test.db"
+    assert sum(1 for c in trace if c.path == "/test.db-journal"
+               and c.op == "open") == 32
+
+
+def test_traces_carry_think_time():
+    assert all(c.think_cycles >= 0 for c in find_trace(2, 2))
+    assert any(c.think_cycles > 0 for c in sqlite_trace(2))
