@@ -9,6 +9,11 @@ Commands
               the full parameters) and print its ASCII figure
 ``report <results.json>``
               render a full run_experiments.py dump + shape checks
+``trace fig6|fig8``
+              record a deterministic execution trace of a golden
+              workload; ``--diff`` checks it against the committed
+              golden digest, ``--refresh`` rewrites the golden file,
+              ``--out`` dumps the full canonical JSON
 """
 
 from __future__ import annotations
@@ -116,6 +121,45 @@ def _cmd_voice(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.testing.golden import (
+        canonical_json,
+        diff_digest,
+        digest,
+        golden_path,
+        load_golden,
+        record_trace,
+        write_golden,
+    )
+
+    tracer = record_trace(args.workload)
+    actual = digest(tracer)
+    print(f"{args.workload}: {actual['n_events']} events, "
+          f"sha256 {actual['sha256'][:16]}…")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(canonical_json(tracer))
+            fh.write("\n")
+        print(f"canonical trace written to {args.out}")
+    if args.refresh:
+        path = write_golden(args.workload, tracer)
+        print(f"golden digest refreshed: {path}")
+        return 0
+    if args.diff:
+        path = golden_path(args.workload)
+        if not path.exists():
+            print(f"no golden file at {path} (record one with --refresh)")
+            return 1
+        problems = diff_digest(load_golden(args.workload), actual)
+        if problems:
+            print("trace DIVERGES from golden:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print("trace matches golden")
+    return 0
+
+
 def _cmd_report(args) -> int:
     with open(args.results) as handle:
         results = json.load(handle)
@@ -155,6 +199,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("report")
     p.add_argument("results", help="JSON from scripts/run_experiments.py")
     p.set_defaults(func=_cmd_report)
+    p = sub.add_parser("trace")
+    p.add_argument("workload", choices=("fig6", "fig8"))
+    p.add_argument("--diff", action="store_true",
+                   help="compare against the committed golden digest")
+    p.add_argument("--refresh", action="store_true",
+                   help="rewrite the golden digest from this run")
+    p.add_argument("--out", metavar="FILE",
+                   help="write the full canonical trace JSON to FILE")
+    p.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

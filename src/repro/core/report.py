@@ -7,6 +7,7 @@ Consumed by ``scripts/run_experiments.py`` and the CLI
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Mapping
 
 BAR_WIDTH = 44
@@ -14,13 +15,21 @@ BAR_WIDTH = 44
 
 def bar_chart(title: str, values: Mapping[str, float], unit: str = "",
               width: int = BAR_WIDTH) -> str:
-    """A horizontal ASCII bar chart, like the paper's figures."""
+    """A horizontal ASCII bar chart, like the paper's figures.
+
+    NaN values (e.g. the mean of a histogram that never got a sample)
+    render as an em-dash row instead of poisoning the whole chart.
+    """
     if not values:
         return f"{title}\n  (no data)"
-    peak = max(values.values()) or 1.0
+    finite = [v for v in values.values() if not math.isnan(v)]
+    peak = (max(finite) if finite else 0.0) or 1.0
     label_w = max(len(k) for k in values)
     lines = [title]
     for name, value in values.items():
+        if math.isnan(value):
+            lines.append(f"  {name:{label_w}s} |{'':{width}s} — {unit}")
+            continue
         bar = "#" * max(1, round(width * value / peak))
         lines.append(f"  {name:{label_w}s} |{bar:<{width}s} {value:,.1f} {unit}")
     return "\n".join(lines)
@@ -35,7 +44,9 @@ def series_chart(title: str, series: Mapping[str, Mapping[int, float]],
              "  " + " " * label_w + "".join(f"{x:>9}" for x in xs)
              + f"   ({x_label})"]
     for name, ys in series.items():
-        cells = "".join(f"{ys.get(x, float('nan')):9.0f}" for x in xs)
+        cells = "".join(
+            f"{'—':>9s}" if math.isnan(ys.get(x, float("nan")))
+            else f"{ys[x]:9.0f}" for x in xs)
         lines.append(f"  {name:{label_w}s}{cells}   {unit}")
     return "\n".join(lines)
 

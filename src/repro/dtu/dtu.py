@@ -35,6 +35,7 @@ from repro.dtu.message import Message
 from repro.dtu.params import DramParams, DtuParams
 
 _tags = itertools.count(1)
+_msg_uids = itertools.count(1)
 
 
 @dataclass
@@ -50,6 +51,9 @@ class WireMsg:
     credit_ep: Optional[int] = None     # sender sEP to re-credit on ack
     is_reply: bool = False
     credit_return_ep: Optional[int] = None  # for replies: sEP at dst to credit
+    # end-to-end identity for trace-based conservation checks; unique per
+    # interpreter, renumbered by the canonical trace serializer
+    uid: int = field(default_factory=lambda: next(_msg_uids))
 
 
 class ExtOp(enum.Enum):
@@ -92,10 +96,14 @@ class Dtu:
     def configure(self, ep_id: int, endpoint: Endpoint) -> None:
         self._check_ep_id(ep_id)
         self.eps[ep_id] = endpoint
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, "ep_install", tile=self.tile, ep=ep_id,
+                        ep_kind=endpoint.kind.value, act=endpoint.act,
+                        unread=getattr(endpoint, "unread", 0))
 
     def invalidate_ep(self, ep_id: int) -> None:
-        self._check_ep_id(ep_id)
-        self.eps[ep_id] = Endpoint()
+        self.configure(ep_id, Endpoint())
 
     def _check_ep_id(self, ep_id: int) -> None:
         if not 0 <= ep_id < len(self.eps):
@@ -157,6 +165,11 @@ class Dtu:
         wire = WireMsg(dst_ep=ep.dst_ep, label=ep.label, data=data, size=size,
                        src_tile=self.tile, reply_ep=reply_ep,
                        credit_ep=ep_id if ep.max_credits != -1 else None)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, "msg_send", tile=self.tile, ep=ep_id,
+                        dst_tile=ep.dst_tile, dst_ep=ep.dst_ep, size=size,
+                        uid=wire.uid, reply=False)
         error = yield from self._transact(PacketKind.MSG, ep.dst_tile, wire, size)
         if error is not DtuError.NONE:
             ep.return_credit()
@@ -180,7 +193,16 @@ class Dtu:
                        size=size, src_tile=self.tile, is_reply=True,
                        credit_return_ep=None if msg.credited else msg.credit_ep)
         msg.credited = True
+        was_read = msg.read
         ep.ack(msg)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, "msg_ack", tile=self.tile, ep=ep_id,
+                        act=ep.act, uid=msg.uid, unread=ep.unread,
+                        freed_unread=not was_read)
+            tracer.emit(self.sim, "msg_send", tile=self.tile, ep=ep_id,
+                        dst_tile=msg.src_tile, dst_ep=msg.reply_ep, size=size,
+                        uid=wire.uid, reply=True)
         error = yield from self._transact(PacketKind.MSG, msg.src_tile, wire, size)
         if error is not DtuError.NONE:
             raise DtuFault(error, f"reply to tile {msg.src_tile}")
@@ -194,6 +216,10 @@ class Dtu:
         msg = ep.fetch()
         if msg is not None:
             self._on_fetch(ep)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(self.sim, "msg_fetch", tile=self.tile, ep=ep_id,
+                            act=ep.act, uid=msg.uid, unread=ep.unread)
         return msg
 
     def _on_fetch(self, ep: ReceiveEndpoint) -> None:
@@ -204,7 +230,13 @@ class Dtu:
         yield from self._mmio(2)
         yield self.sim.timeout(self.params.cmd_setup_ps)
         ep = self._usable_ep(ep_id, EndpointKind.RECEIVE)
+        was_read = msg.read
         ep.ack(msg)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, "msg_ack", tile=self.tile, ep=ep_id,
+                        act=ep.act, uid=msg.uid, unread=ep.unread,
+                        freed_unread=not was_read)
         if not msg.credited and msg.credit_ep is not None:
             msg.credited = True
             self.fabric.send(Packet(PacketKind.ACK, src=self.tile,
@@ -307,12 +339,15 @@ class Dtu:
         wire: WireMsg = pkt.payload
         ep = self._deliverable_ep(wire.dst_ep)
         if ep is None:
+            self._trace_bounce(wire, DtuError.RECV_GONE)
             self._respond(pkt, DtuError.RECV_GONE)
             return
         if wire.size > ep.slot_size:
+            self._trace_bounce(wire, DtuError.MSG_TOO_LARGE)
             self._respond(pkt, DtuError.MSG_TOO_LARGE)
             return
         if ep.free_slots == 0:
+            self._trace_bounce(wire, DtuError.RECV_FULL)
             self._respond(pkt, DtuError.RECV_FULL)
             return
         # reply delivery implicitly returns the original sender's credit
@@ -323,13 +358,25 @@ class Dtu:
         msg = Message(label=wire.label, data=wire.data, size=wire.size,
                       src_tile=wire.src_tile, reply_ep=wire.reply_ep,
                       credit_ep=wire.credit_ep,
-                      credited=wire.is_reply or wire.credit_ep is None)
+                      credited=wire.is_reply or wire.credit_ep is None,
+                      uid=wire.uid)
         # DMA the payload into the receive buffer in tile memory
         yield self.sim.timeout(self.params.dma_ps(wire.size))
         ep.deposit(msg)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, "msg_deliver", tile=self.tile,
+                        ep=wire.dst_ep, act=ep.act, uid=wire.uid,
+                        unread=ep.unread)
         yield from self._on_deposit_blocking(wire.dst_ep, ep, msg)
         self._respond(pkt, DtuError.NONE)
         self.stats.counter("dtu/msgs_received").add()
+
+    def _trace_bounce(self, wire: WireMsg, error: DtuError) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, "msg_bounce", tile=self.tile,
+                        uid=wire.uid, error=error.value)
 
     def _on_deposit_blocking(self, ep_id: int, ep: ReceiveEndpoint,
                              msg: Message) -> Generator:
@@ -370,7 +417,7 @@ class Dtu:
             eps = req.args["eps"]
             yield self.sim.timeout(self.params.ext_cmd_ps * len(eps))
             for ep_id, ep in eps.items():
-                self.eps[ep_id] = ep
+                self.configure(ep_id, ep)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown ext op {req.op}")
         self.fabric.send(pkt.response_to(PacketKind.EXT_RESP, payload=result))

@@ -27,6 +27,7 @@ class Message:
     credited: bool = False     # credit already returned (by REPLY)?
     read: bool = False
     seq: int = field(default_factory=lambda: next(_seq))
+    uid: Optional[int] = None  # WireMsg uid for end-to-end trace identity
 
     @property
     def can_reply(self) -> bool:

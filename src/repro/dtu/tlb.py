@@ -57,19 +57,22 @@ class Tlb:
         return entry.phys_page * self.page_size + (virt % self.page_size)
 
     def insert(self, act: int, virt_page: int, phys_page: int, perm: Perm,
-               pinned: bool = False) -> None:
+               pinned: bool = False) -> Optional[TlbEntry]:
+        """Insert a translation; returns the evicted entry, if any."""
         key = (act, virt_page)
+        evicted = None
         if key in self._entries:
             self._entries.pop(key)
         elif len(self._entries) >= self.capacity:
-            self._evict()
+            evicted = self._evict()
         self._entries[key] = TlbEntry(act, virt_page, phys_page, perm, pinned)
+        return evicted
 
-    def _evict(self) -> None:
+    def _evict(self) -> TlbEntry:
         for key, entry in self._entries.items():  # LRU order
             if not entry.pinned:
                 del self._entries[key]
-                return
+                return entry
         raise RuntimeError("TLB full of pinned entries")
 
     def invalidate(self, act: int, virt_page: Optional[int] = None) -> int:

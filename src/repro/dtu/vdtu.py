@@ -68,6 +68,10 @@ class VDtu(Dtu):
         if ep.act != self.cur_act:
             # deliberately indistinguishable from an invalid endpoint
             raise DtuFault(DtuError.UNKNOWN_EP, f"ep {ep_id}")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, "ep_use", tile=self.tile, ep=ep_id,
+                        owner=ep.act, cur_act=self.cur_act)
         return ep
 
     # -- address translation (3.6) ----------------------------------------------
@@ -106,8 +110,12 @@ class VDtu(Dtu):
 
     def _on_deposit_blocking(self, ep_id: int, ep: ReceiveEndpoint,
                              msg: Message) -> Generator:
+        tracer = self.sim.tracer
         if ep.act == self.cur_act:
             self.cur_msgs += 1
+            if tracer is not None:
+                tracer.emit(self.sim, "cur_inc", tile=self.tile, act=ep.act,
+                            cur=self.cur_msgs)
             waiters, self.cur_msg_waiters = self.cur_msg_waiters, []
             for waiter in waiters:
                 if not waiter.triggered:
@@ -116,11 +124,18 @@ class VDtu(Dtu):
         # recipient not running: queue a core request (stall on overrun —
         # the NoC's packet-based flow control takes over upstream)
         while len(self._core_reqs) >= self.params.core_req_queue_depth:
+            if tracer is not None:
+                tracer.emit(self.sim, "core_req_stall", tile=self.tile,
+                            qlen=len(self._core_reqs))
             waiter = self.sim.event()
             self._overrun_waiters.append(waiter)
             self.stats.counter("vdtu/core_req_overruns").add()
             yield waiter
         self._core_reqs.append(CoreRequest(act=ep.act, ep_id=ep_id))
+        if tracer is not None:
+            tracer.emit(self.sim, "core_req_enq", tile=self.tile, act=ep.act,
+                        ep=ep_id, qlen=len(self._core_reqs),
+                        cap=self.params.core_req_queue_depth)
         self.stats.counter("vdtu/core_reqs").add()
         if self.irq_handler is not None:
             self.irq_handler()
@@ -128,6 +143,10 @@ class VDtu(Dtu):
     def _on_fetch(self, ep: ReceiveEndpoint) -> None:
         if ep.act == self.cur_act and self.cur_msgs > 0:
             self.cur_msgs -= 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(self.sim, "cur_dec", tile=self.tile,
+                            act=self.cur_act, cur=self.cur_msgs)
 
     @property
     def core_req_pending(self) -> bool:
@@ -148,6 +167,11 @@ class VDtu(Dtu):
         old = (self.cur_act, self.cur_msgs)
         self.cur_act = new_act
         self.cur_msgs = new_msgs
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, "act_switch", tile=self.tile,
+                        old_act=old[0], old_msgs=old[1],
+                        new_act=new_act, new_msgs=new_msgs)
         self.stats.counter("vdtu/act_switches").add()
         return old
 
@@ -160,7 +184,15 @@ class VDtu(Dtu):
                         perm: Perm, pinned: bool = False) -> Generator:
         yield from self._mmio(2)
         yield self.sim.timeout(self.params.priv_cmd_ps)
-        self.tlb.insert(act, virt_page, phys_page, perm, pinned=pinned)
+        evicted = self.tlb.insert(act, virt_page, phys_page, perm,
+                                  pinned=pinned)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            if evicted is not None:
+                tracer.emit(self.sim, "tlb_evict", tile=self.tile,
+                            act=evicted.act, vpage=evicted.virt_page)
+            tracer.emit(self.sim, "tlb_fill", tile=self.tile, act=act,
+                        vpage=virt_page, ppage=phys_page)
 
     def priv_invalidate_tlb(self, act: int,
                             virt_page: Optional[int] = None) -> Generator:
@@ -179,6 +211,10 @@ class VDtu(Dtu):
         yield self.sim.timeout(self.params.priv_cmd_ps)
         if self._core_reqs:
             self._core_reqs.popleft()
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(self.sim, "core_req_ack", tile=self.tile,
+                            qlen=len(self._core_reqs))
         if self._overrun_waiters:
             self._overrun_waiters.pop(0).succeed()
         if self._core_reqs and self.irq_handler is not None:

@@ -167,6 +167,11 @@ class M3xMux:
     def _charge(self, cycles: int) -> Generator:
         yield self.sim.timeout(self.clock.cycles_to_ps(cycles))
 
+    def _emit(self, kind: str, **fields) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, kind, tile=self.tile_id, **fields)
+
     # ------------------------------------------------------------- main loop
 
     def _main_loop(self) -> Generator:
@@ -184,6 +189,7 @@ class M3xMux:
                 # check whether a message arrived for the (blocked) current
                 if ctx is not None and (yield from self._has_unread(ctx)):
                     ctx.state = ActState.READY
+                    self._emit("act_wake", act=ctx.act_id, reason="scan")
                     continue
                 if self._msg_latch:
                     self._msg_latch = False  # re-scan: a deposit raced us
@@ -248,6 +254,7 @@ class M3xMux:
                 yield from self._charge(self.costs.trap_exit)
                 return False, True
             ctx.state = ActState.BLOCKED
+            self._emit("act_block", act=ctx.act_id)
             if len(self.acts) > 1:
                 # tell the controller so it can schedule someone else
                 yield from self.vdtu.cmd_send(
@@ -262,6 +269,7 @@ class M3xMux:
             return None, True  # single-context view: nothing else to run here
         if op == "sleep":
             ctx.state = ActState.BLOCKED
+            self._emit("act_block", act=ctx.act_id)
             deadline = self.sim.now + call.args["ps"]
             self.sim.process(self._wake_after(ctx, deadline))
             return None, False
@@ -278,12 +286,14 @@ class M3xMux:
         yield self.sim.timeout(max(0, deadline - self.sim.now))
         if ctx.state is ActState.BLOCKED:
             ctx.state = ActState.READY
+            self._emit("act_wake", act=ctx.act_id, reason="sleep")
             self._on_msg(-1)
 
     def _exit(self, ctx: Activity, code: int) -> Generator:
         yield from self._charge(400)
         ctx.state = ActState.EXITED
         ctx.exit_code = code
+        self._emit("act_exit", act=ctx.act_id)
         self.acts.pop(ctx.act_id, None)
         if self.current is ctx:
             self.current = None
@@ -409,6 +419,12 @@ class M3xController(Controller):
     def _blocked(act: Activity) -> bool:
         return act.state in (ActState.BLOCKED, ActState.BLOCKED_PF)
 
+    def _emit_wake(self, act: Activity, reason: str) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, "act_wake", tile=act.tile_id,
+                        act=act.act_id, reason=reason)
+
     def _save_context(self, act: Activity) -> Generator:
         """Save registers (via RCTMux) and endpoints (via ext IF)."""
         tile = act.tile_id
@@ -433,6 +449,7 @@ class M3xController(Controller):
         self._tile_current[tile] = act.act_id
         if self._blocked(act):
             act.state = ActState.READY
+            self._emit_wake(act, "restore")
         yield from self.tmux_request(tile, TmuxOp.M3X_RESUME,
                                      {"act_id": act.act_id})
 
@@ -466,6 +483,7 @@ class M3xController(Controller):
                     sep.return_credit()
             if act is not None and self._blocked(act):
                 act.state = ActState.READY
+                self._emit_wake(act, "syscall_reply")
                 ready = self._tile_ready.setdefault(act.tile_id, [])
                 if not self._is_current(act) and act.act_id not in ready:
                     ready.append(act.act_id)
@@ -566,6 +584,7 @@ class M3xController(Controller):
             yield from self._deliver_direct(args)
         if self._blocked(act):
             act.state = ActState.READY
+            self._emit_wake(act, "forward")
         ready = self._tile_ready.setdefault(act.tile_id, [])
         if (not self._is_current(act)) and act.act_id not in ready:
             ready.append(act.act_id)
@@ -583,6 +602,11 @@ class M3xController(Controller):
                        data=args["data"], size=args["size"],
                        src_tile=args["src_tile"],
                        reply_ep=args.get("reply_ep"), credit_ep=None)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, "msg_send", tile=args["src_tile"], ep=-1,
+                        dst_tile=args["dst_tile"], dst_ep=args["dst_ep"],
+                        size=args["size"], uid=wire.uid, reply=False)
         tag = next(_tags)
         done = self.sim.event()
         self.dtu._pending[tag] = done

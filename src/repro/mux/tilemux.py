@@ -122,6 +122,11 @@ class TileMux:
     def _charge(self, cycles: int) -> Generator:
         yield self.sim.timeout(self.clock.cycles_to_ps(cycles))
 
+    def _emit(self, kind: str, **fields) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, kind, tile=self.tile_id, **fields)
+
     # -------------------------------------------------------------- main loop
 
     def _main_loop(self) -> Generator:
@@ -166,6 +171,7 @@ class TileMux:
                     # a message slipped in between the check and the switch
                     act.state = ActState.READY
                     self.ready.append(act)
+                    self._emit("act_wake", act=old_act, reason="lost_wakeup")
                     self.stats.counter("tilemux/lost_wakeups_averted").add()
         return old_act, old_msgs
 
@@ -197,6 +203,7 @@ class TileMux:
                 ctx.state = ActState.READY
                 ctx._resume_value = inject_val  # re-inject after preemption
                 self.ready.append(ctx)
+                self._emit("preempt", act=ctx.act_id)
                 self.stats.counter("tilemux/preemptions").add()
                 break
             try:
@@ -237,6 +244,7 @@ class TileMux:
                 yield from self._charge(self.costs.trap_exit)
                 return False, True
             ctx.state = ActState.BLOCKED
+            self._emit("act_block", act=ctx.act_id)
             self.stats.counter("tilemux/blocks").add()
             return None, False
         if op == "yield":
@@ -245,6 +253,7 @@ class TileMux:
             return None, False
         if op == "sleep":
             ctx.state = ActState.BLOCKED
+            self._emit("act_block", act=ctx.act_id)
             deadline = self.sim.now + call.args["ps"]
             self.sim.process(self._wake_after(ctx, deadline),
                              name=f"sleep-{ctx.name}")
@@ -267,12 +276,14 @@ class TileMux:
             ctx.state = ActState.READY
             ctx.msgs = ctx.msgs  # counter untouched; just runnable again
             self.ready.append(ctx)
+            self._emit("act_wake", act=ctx.act_id, reason="sleep")
             self._on_irq()
 
     def _exit(self, ctx: Activity, code: int) -> Generator:
         yield from self._charge(self.EXIT_CY)
         ctx.state = ActState.EXITED
         ctx.exit_code = code
+        self._emit("act_exit", act=ctx.act_id)
         self.acts.pop(ctx.act_id, None)
         self.vdtu.tlb.invalidate(ctx.act_id)
         yield from self._send_as_tilemux(
@@ -357,16 +368,20 @@ class TileMux:
             act = self.acts.get(req.act)
             if act is None:
                 continue  # raced with exit
-            if self.current is not None and act is self.current:
+            to_cur = self.current is not None and act is self.current
+            if to_cur:
                 # the deposit raced with an activity switch: the message
                 # predates the switch, so account it to the live CUR_ACT
                 # (the hardware's atomic switch has the same net effect)
                 self.vdtu.cur_msgs += 1
             else:
                 act.msgs += 1
+            self._emit("core_req_route", act=req.act, to_cur=to_cur,
+                       count=self.vdtu.cur_msgs if to_cur else act.msgs)
             if act.state is ActState.BLOCKED:
                 act.state = ActState.READY
                 self.ready.append(act)
+                self._emit("act_wake", act=req.act, reason="core_req")
         if self._wake.triggered:
             self._wake = self.sim.event()
         if service_own:
@@ -444,3 +459,4 @@ class TileMux:
         if ctx.state is ActState.BLOCKED_PF:
             ctx.state = ActState.READY
             self.ready.append(ctx)
+            self._emit("act_wake", act=ctx.act_id, reason="pagefault")

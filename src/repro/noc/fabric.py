@@ -88,6 +88,11 @@ class NocFabric:
         """
         if packet.dst not in self._inboxes:
             raise ValueError(f"destination tile {packet.dst} not attached")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, "noc_inject", src=packet.src,
+                        dst=packet.dst, pkt=packet.kind.value,
+                        size=packet.size, pid=packet.pid)
         return self.sim.process(self._transfer(packet), name=f"pkt{packet.pid}")
 
     def _link(self, kind: str, a: int, b: int) -> _Link:
@@ -119,7 +124,13 @@ class NocFabric:
             yield from self._traverse(self._link("rtr", a, b), wire)
         # router -> tile ejection link; blocking put = backpressure
         yield from self._traverse(self._link("ej", dst_router, packet.dst), wire)
-        yield self._inboxes[packet.dst].put(packet)
+        inbox = self._inboxes[packet.dst]
+        yield inbox.put(packet)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, "noc_deliver", src=packet.src,
+                        dst=packet.dst, pkt=packet.kind.value,
+                        pid=packet.pid, qlen=len(inbox))
         self.stats.counter("noc/packets").add()
         self.stats.counter("noc/bytes").add(wire)
 

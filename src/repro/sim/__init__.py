@@ -29,8 +29,11 @@ from repro.sim.engine import (
 )
 from repro.sim.channel import Channel, ChannelClosed
 from repro.sim.stats import Counter, Histogram, StatRegistry, TimeWeighted
+from repro.sim.trace import TraceEvent, Tracer
 
 __all__ = [
+    "TraceEvent",
+    "Tracer",
     "Event",
     "Interrupt",
     "Process",

@@ -30,6 +30,17 @@ class Interrupt(Exception):
 # Event state markers
 _PENDING = object()
 
+# Default tracer picked up by newly constructed Simulators (see
+# repro.sim.trace).  None keeps tracing entirely off: the only cost is
+# one attribute load + None check per emit site.
+_default_tracer = None
+
+
+def set_default_tracer(tracer) -> None:
+    """Install (or clear, with None) the tracer for new Simulators."""
+    global _default_tracer
+    _default_tracer = tracer
+
 
 class Event:
     """A one-shot occurrence that processes can wait on.
@@ -218,6 +229,9 @@ class Simulator:
         self._heap: List = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        self.tracer = _default_tracer
+        self.trace_id = (_default_tracer.register_sim()
+                         if _default_tracer is not None else 0)
 
     # -- factories -----------------------------------------------------------
 
@@ -293,6 +307,9 @@ class Simulator:
         """Process the next triggered event."""
         when, _, event = heapq.heappop(self._heap)
         self.now = when
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(self, "evq_pop", cls=type(event).__name__)
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
         for callback in callbacks:

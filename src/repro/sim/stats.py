@@ -53,8 +53,10 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean; NaN when no samples were recorded (renderers
+        show it as an em-dash instead of crashing a whole report)."""
         if not self.samples:
-            raise ValueError(f"histogram {self.name} has no samples")
+            return float("nan")
         return sum(self.samples) / len(self.samples)
 
     @property
@@ -66,18 +68,18 @@ class Histogram:
 
     @property
     def min(self) -> float:
-        return min(self.samples)
+        return min(self.samples) if self.samples else float("nan")
 
     @property
     def max(self) -> float:
-        return max(self.samples)
+        return max(self.samples) if self.samples else float("nan")
 
     def quantile(self, q: float) -> float:
-        """Linear-interpolated quantile, q in [0, 1]."""
+        """Linear-interpolated quantile, q in [0, 1]; NaN when empty."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} out of range")
         if not self.samples:
-            raise ValueError(f"histogram {self.name} has no samples")
+            return float("nan")
         xs = sorted(self.samples)
         pos = q * (len(xs) - 1)
         lo = int(math.floor(pos))

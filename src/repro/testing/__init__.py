@@ -1,0 +1,43 @@
+"""Test-support layer: invariant checkers, fault injection, golden traces.
+
+Built on the opt-in tracer (:mod:`repro.sim.trace`):
+
+* :mod:`repro.testing.invariants` — online checkers that subscribe to a
+  tracer and assert system-wide properties over whole executions;
+* :mod:`repro.testing.faults` — seeded fault injectors (NoC jitter, TLB
+  pressure, forced preemption) to stress those properties;
+* :mod:`repro.testing.golden` — canonical trace serialization and
+  golden-file conformance for the fig6/fig8 microbenchmarks.
+"""
+
+from repro.testing.invariants import (
+    ALL_INVARIANTS,
+    BlockedWakeup,
+    CoreReqQueueBound,
+    CurActConsistency,
+    EndpointOwnership,
+    InvariantSuite,
+    InvariantViolation,
+    MessageConservation,
+)
+from repro.testing.faults import (
+    FaultPlan,
+    ForcedPreemption,
+    NocJitter,
+    TlbPressure,
+)
+
+__all__ = [
+    "ALL_INVARIANTS",
+    "BlockedWakeup",
+    "CoreReqQueueBound",
+    "CurActConsistency",
+    "EndpointOwnership",
+    "InvariantSuite",
+    "InvariantViolation",
+    "MessageConservation",
+    "FaultPlan",
+    "ForcedPreemption",
+    "NocJitter",
+    "TlbPressure",
+]

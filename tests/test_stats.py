@@ -43,9 +43,26 @@ def test_histogram_quantile_interpolates():
     assert h.quantile(1.0) == 10.0
 
 
-def test_histogram_empty_mean_raises():
-    with pytest.raises(ValueError):
-        Histogram("empty").mean
+def test_histogram_empty_stats_are_nan():
+    import math
+
+    h = Histogram("empty")
+    assert math.isnan(h.mean)
+    assert math.isnan(h.quantile(0.5))
+    assert math.isnan(h.min)
+    assert math.isnan(h.max)
+    assert h.count == 0 and h.stdev == 0.0
+
+
+def test_empty_histogram_renders_as_dash():
+    """Regression: a report over an experiment that recorded zero
+    samples must render, with an em-dash where the number would be."""
+    from repro.core.report import bar_chart, series_chart
+
+    chart = bar_chart("t", {"warm": 4.2, "cold": Histogram("none").mean})
+    assert "—" in chart and "4.2" in chart and "nan" not in chart
+    table = series_chart("t", {"sys": {1: 2.0, 2: float("nan")}})
+    assert "—" in table and "nan" not in table
 
 
 def test_histogram_quantile_range_checked():
