@@ -7,8 +7,7 @@ M3x's single-threaded controller caps the whole system.
 import pytest
 from conftest import paper_scale, print_table
 
-from repro.core.exps.fig9 import Fig9Params, _throughput
-from repro.core.platform import build_m3v, build_m3x
+from repro.core.exps.fig9 import Fig9Params
 
 # paper data points for reference (runs/s)
 PAPER_FIND = {"m3v_1": 84, "m3x_1": 45, "m3x_plateau": 94}
@@ -22,17 +21,10 @@ def params(trace):
                       find_dirs=6, find_files=10, sqlite_txns=8)
 
 
-def _sweep(trace):
-    p = params(trace)
-    return {
-        "m3v": {n: _throughput(build_m3v, n, p) for n in p.tile_counts},
-        "m3x": {n: _throughput(build_m3x, n, p) for n in p.tile_counts},
-    }
-
-
 @pytest.mark.parametrize("trace", ["find", "sqlite"])
-def test_fig9_scalability(benchmark, trace):
-    data = benchmark.pedantic(_sweep, args=(trace,), rounds=1, iterations=1)
+def test_fig9_scalability(benchmark, runner, trace):
+    data = benchmark.pedantic(runner.run_sweep, args=("fig9", params(trace)),
+                              rounds=1, iterations=1)
     header = "tiles " + " ".join(f"{n:>8d}" for n in sorted(data["m3v"]))
     rows = [header]
     for system in ("m3x", "m3v"):

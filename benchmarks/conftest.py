@@ -4,6 +4,9 @@ Every benchmark prints the table/figure it regenerates.  By default the
 workloads are scaled down so the whole suite runs in minutes; set
 ``REPRO_PAPER_SCALE=1`` to run the paper's full parameters (slower, but
 the numbers then correspond to EXPERIMENTS.md's full-scale column).
+Set ``REPRO_JOBS=N`` to fan a benchmark's sweep points over N worker
+processes via the ``runner`` fixture (results are identical to serial
+by the runner's parity contract).
 """
 
 import os
@@ -15,9 +18,22 @@ def paper_scale() -> bool:
     return os.environ.get("REPRO_PAPER_SCALE", "0") == "1"
 
 
+def jobs() -> int:
+    return int(os.environ.get("REPRO_JOBS", "1"))
+
+
 @pytest.fixture
 def scale():
     return paper_scale()
+
+
+@pytest.fixture
+def runner():
+    """A parallel runner honoring REPRO_JOBS.  No cache: benchmarks
+    must measure the simulation, never replay a stored result."""
+    from repro.runner import Runner
+
+    return Runner(jobs=jobs())
 
 
 def print_table(title: str, rows):

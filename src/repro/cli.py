@@ -6,7 +6,12 @@ Commands
 ``sloc``      print the section-6.1 complexity report
 ``fig6|fig7|fig8|fig9|fig10|voice``
               run one experiment (shortened workloads; ``--paper`` for
-              the full parameters) and print its ASCII figure
+              the full parameters) and print its ASCII figure.  All of
+              these go through the parallel runner: ``--jobs N`` fans
+              the sweep's points over N worker processes, and results
+              are served from the content-addressed ``.repro-cache/``
+              unless ``--no-cache`` (``--refresh-cache`` re-simulates
+              and rewrites the entries)
 ``report <results.json>``
               render a full run_experiments.py dump + shape checks
 ``trace fig6|fig8``
@@ -24,6 +29,19 @@ import sys
 from typing import List, Optional
 
 from repro.core.report import bar_chart, render_report, shape_checks
+
+
+def _sweep_result(name: str, params, args):
+    """Run one figure's sweep through the runner (CLI plumbing)."""
+    from repro.runner import ResultCache, Runner
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(root=args.cache_dir,
+                            refresh=args.refresh_cache)
+    runner = Runner(jobs=args.jobs, cache=cache,
+                    progress=args.jobs > 1 and sys.stderr.isatty())
+    return runner.run_sweep(name, params)
 
 
 def _cmd_area(_args) -> int:
@@ -55,35 +73,36 @@ def _cmd_sloc(_args) -> int:
 
 
 def _cmd_fig6(args) -> int:
-    from repro.core.exps.fig6 import Fig6Params, run_fig6
+    from repro.core.exps.fig6 import Fig6Params
 
     p = Fig6Params() if args.paper else Fig6Params(iterations=150, warmup=15)
-    rows = run_fig6(p)
+    rows = _sweep_result("fig6", p, args)
     print(bar_chart("Figure 6 — no-op round trips (k cycles)",
                     {k: v["kcycles"] for k, v in rows.items()}, unit="kcy"))
     return 0
 
 
 def _cmd_fig7(args) -> int:
-    from repro.core.exps.fig7 import Fig7Params, run_fig7
+    from repro.core.exps.fig7 import Fig7Params
 
     p = Fig7Params() if args.paper else Fig7Params(file_bytes=512 * 1024,
                                                    runs=2, warmup=1)
-    print(bar_chart("Figure 7 — file throughput (MiB/s)", run_fig7(p),
-                    unit="MiB/s"))
+    print(bar_chart("Figure 7 — file throughput (MiB/s)",
+                    _sweep_result("fig7", p, args), unit="MiB/s"))
     return 0
 
 
 def _cmd_fig8(args) -> int:
-    from repro.core.exps.fig8 import Fig8Params, run_fig8
+    from repro.core.exps.fig8 import Fig8Params
 
     p = Fig8Params() if args.paper else Fig8Params(repetitions=15, warmup=3)
-    print(bar_chart("Figure 8 — UDP RTT (us)", run_fig8(p), unit="us"))
+    print(bar_chart("Figure 8 — UDP RTT (us)",
+                    _sweep_result("fig8", p, args), unit="us"))
     return 0
 
 
 def _cmd_fig9(args) -> int:
-    from repro.core.exps.fig9 import Fig9Params, run_fig9
+    from repro.core.exps.fig9 import Fig9Params
     from repro.core.report import series_chart
 
     if args.paper:
@@ -91,19 +110,20 @@ def _cmd_fig9(args) -> int:
     else:
         p = Fig9Params(trace=args.trace, find_dirs=6, find_files=10,
                        sqlite_txns=8)
-    data = run_fig9(p)
+    data = _sweep_result("fig9", p, args)
     print(series_chart(f"Figure 9 — {args.trace} (runs/s)", data))
     return 0
 
 
 def _cmd_fig10(args) -> int:
-    from repro.core.exps.fig10 import Fig10Params, run_fig10
+    from repro.core.exps.fig10 import Fig10Params
 
     if args.paper:
-        p = Fig10Params(runs=8, warmup=2)
+        p = Fig10Params(runs=8, warmup=2, mixes=(args.mix,))
     else:
-        p = Fig10Params(records=60, operations=60, runs=1, warmup=0)
-    data = run_fig10(p, mixes=(args.mix,))
+        p = Fig10Params(records=60, operations=60, runs=1, warmup=0,
+                        mixes=(args.mix,))
+    data = _sweep_result("fig10", p, args)
     for system, row in data[args.mix].items():
         print(f"{system:14s} total={row['total_s']:.3f}s "
               f"user={row['user_s']:.3f}s sys={row['sys_s']:.3f}s")
@@ -111,10 +131,10 @@ def _cmd_fig10(args) -> int:
 
 
 def _cmd_voice(args) -> int:
-    from repro.core.exps.voice import VoiceParams, run_voice
+    from repro.core.exps.voice import VoiceParams
 
     p = VoiceParams(triggers=8 if args.paper else 4)
-    data = run_voice(p)
+    data = _sweep_result("voice", p, args)
     print(f"isolated {data['isolated_ms']:.1f} ms / "
           f"shared {data['shared_ms']:.1f} ms "
           f"(+{data['overhead_pct']:.1f}%, paper +3.6%)")
@@ -179,19 +199,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro", description="M3v reproduction experiment runner")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # runner options shared by every figure command
+    runner_opts = argparse.ArgumentParser(add_help=False)
+    runner_opts.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="worker processes for the sweep's points")
+    runner_opts.add_argument("--no-cache", action="store_true",
+                             help="disable the content-addressed result "
+                                  "cache")
+    runner_opts.add_argument("--refresh-cache", action="store_true",
+                             help="ignore cached results but write fresh "
+                                  "ones")
+    runner_opts.add_argument("--cache-dir", default=".repro-cache",
+                             help="cache location (default .repro-cache)")
+
     sub.add_parser("area").set_defaults(func=_cmd_area)
     sub.add_parser("sloc").set_defaults(func=_cmd_sloc)
     for name, func in (("fig6", _cmd_fig6), ("fig7", _cmd_fig7),
                        ("fig8", _cmd_fig8), ("voice", _cmd_voice)):
-        p = sub.add_parser(name)
+        p = sub.add_parser(name, parents=[runner_opts])
         p.add_argument("--paper", action="store_true",
                        help="full paper-scale parameters")
         p.set_defaults(func=func)
-    p = sub.add_parser("fig9")
+    p = sub.add_parser("fig9", parents=[runner_opts])
     p.add_argument("--trace", choices=("find", "sqlite"), default="find")
     p.add_argument("--paper", action="store_true")
     p.set_defaults(func=_cmd_fig9)
-    p = sub.add_parser("fig10")
+    p = sub.add_parser("fig10", parents=[runner_opts])
     p.add_argument("--mix", choices=("read", "insert", "update",
                                      "mixed", "scan"), default="scan")
     p.add_argument("--paper", action="store_true")

@@ -4,20 +4,52 @@ Each runner builds the right platform(s), executes the workload, and
 returns plain result rows that the benchmark harness prints and
 EXPERIMENTS.md records.  Paper-scale parameters are the defaults of
 each ``*Params`` dataclass; benchmarks may shrink them for quick runs.
+
+Every figure is additionally decomposed into pure, picklable *point
+functions* (a frozen ``*Point`` config in, a plain result out) plus a
+``reduce_*`` function that assembles the figure's result structure from
+the point values in order.  ``run_*`` is exactly
+``reduce(map(point_fn, points))``, so the serial entry points and the
+parallel runner (:mod:`repro.runner`) execute identical code per point
+— the basis of the serial/parallel parity guarantee.
 """
 
-from repro.core.exps.fig6 import Fig6Params, run_fig6
-from repro.core.exps.fig7 import Fig7Params, run_fig7
-from repro.core.exps.fig8 import Fig8Params, run_fig8
-from repro.core.exps.fig9 import Fig9Params, run_fig9
-from repro.core.exps.fig10 import Fig10Params, run_fig10
-from repro.core.exps.voice import VoiceParams, run_voice
+from repro.core.exps.fig6 import (
+    Fig6Params, Fig6Point, fig6_points, reduce_fig6, run_fig6,
+    run_fig6_point,
+)
+from repro.core.exps.fig7 import (
+    Fig7Params, Fig7Point, fig7_points, reduce_fig7, run_fig7,
+    run_fig7_point,
+)
+from repro.core.exps.fig8 import (
+    Fig8Params, Fig8Point, fig8_points, reduce_fig8, run_fig8,
+    run_fig8_point,
+)
+from repro.core.exps.fig9 import (
+    Fig9Params, Fig9Point, fig9_points, reduce_fig9, run_fig9,
+    run_fig9_point,
+)
+from repro.core.exps.fig10 import (
+    Fig10Params, Fig10Point, fig10_points, reduce_fig10, run_fig10,
+    run_fig10_point,
+)
+from repro.core.exps.voice import (
+    VoiceParams, VoicePoint, reduce_voice, run_voice, run_voice_point,
+    voice_points,
+)
 
 __all__ = [
-    "Fig6Params", "run_fig6",
-    "Fig7Params", "run_fig7",
-    "Fig8Params", "run_fig8",
-    "Fig9Params", "run_fig9",
-    "Fig10Params", "run_fig10",
-    "VoiceParams", "run_voice",
+    "Fig6Params", "Fig6Point", "fig6_points", "run_fig6_point",
+    "reduce_fig6", "run_fig6",
+    "Fig7Params", "Fig7Point", "fig7_points", "run_fig7_point",
+    "reduce_fig7", "run_fig7",
+    "Fig8Params", "Fig8Point", "fig8_points", "run_fig8_point",
+    "reduce_fig8", "run_fig8",
+    "Fig9Params", "Fig9Point", "fig9_points", "run_fig9_point",
+    "reduce_fig9", "run_fig9",
+    "Fig10Params", "Fig10Point", "fig10_points", "run_fig10_point",
+    "reduce_fig10", "run_fig10",
+    "VoiceParams", "VoicePoint", "voice_points", "run_voice_point",
+    "reduce_voice", "run_voice",
 ]

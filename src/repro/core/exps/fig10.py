@@ -10,8 +10,8 @@ split into user and system time (section 6.5.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.lsm import LsmStore
 from repro.core.exps.common import fpga_config
@@ -60,6 +60,7 @@ class Fig10Params:
     runs: int = 2
     warmup: int = 1
     seed: int = 1
+    mixes: Tuple[str, ...] = ("read", "insert", "update", "mixed", "scan")
 
 
 def _run_m3v(mix: str, shared: bool, p: Fig10Params) -> Dict[str, float]:
@@ -159,16 +160,54 @@ def _run_linux(mix: str, p: Fig10Params) -> Dict[str, float]:
             "sys_s": out["sys_s"] / p.runs}
 
 
+# -- sweep decomposition (repro.runner) ---------------------------------------
+
+FIG10_SYSTEMS = ("m3v_isolated", "m3v_shared", "linux")
+
+
+@dataclass(frozen=True)
+class Fig10Point:
+    mix: str
+    system: str                # one of FIG10_SYSTEMS
+    records: int = 200
+    operations: int = 200
+    runs: int = 2
+    warmup: int = 1
+    seed: int = 1
+
+
+def fig10_points(params: Fig10Params = None) -> List[Fig10Point]:
+    p = params or Fig10Params()
+    return [Fig10Point(mix, system, p.records, p.operations,
+                       p.runs, p.warmup, p.seed)
+            for mix in p.mixes for system in FIG10_SYSTEMS]
+
+
+def run_fig10_point(pt: Fig10Point) -> Dict[str, float]:
+    """{total_s, user_s, sys_s} for one (mix, system) bar group."""
+    p = Fig10Params(records=pt.records, operations=pt.operations,
+                    runs=pt.runs, warmup=pt.warmup, seed=pt.seed,
+                    mixes=(pt.mix,))
+    if pt.system == "linux":
+        return _run_linux(pt.mix, p)
+    if pt.system in ("m3v_isolated", "m3v_shared"):
+        return _run_m3v(pt.mix, shared=pt.system == "m3v_shared", p=p)
+    raise ValueError(f"unknown fig10 system {pt.system!r}")
+
+
+def reduce_fig10(params: Fig10Params, values: List[Dict[str, float]]
+                 ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for pt, v in zip(fig10_points(params), values):
+        results.setdefault(pt.mix, {})[pt.system] = v
+    return results
+
+
 def run_fig10(params: Fig10Params = None,
-              mixes=("read", "insert", "update", "mixed", "scan")
+              mixes: Optional[Sequence[str]] = None
               ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Returns {mix -> {system -> {total_s, user_s, sys_s}}}."""
     p = params or Fig10Params()
-    results: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for mix in mixes:
-        results[mix] = {
-            "m3v_isolated": _run_m3v(mix, shared=False, p=p),
-            "m3v_shared": _run_m3v(mix, shared=True, p=p),
-            "linux": _run_linux(mix, p),
-        }
-    return results
+    if mixes is not None:
+        p = replace(p, mixes=tuple(mixes))
+    return reduce_fig10(p, [run_fig10_point(pt) for pt in fig10_points(p)])

@@ -8,7 +8,7 @@ with a warm system.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
 
 from repro.core.exps.common import fpga_config, rendezvous
 from repro.core.platform import build_m3v
@@ -97,15 +97,46 @@ def _measure_linux_yield2(p: Fig6Params) -> float:
     return out["ps"]
 
 
+# -- sweep decomposition (repro.runner) ---------------------------------------
+#
+# One point per bar; each point builds its own platform, so points are
+# pure and picklable and the parallel runner can fan them out.
+
+FIG6_KINDS = ("linux_yield_2x", "linux_syscall", "m3v_local", "m3v_remote")
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    kind: str
+    iterations: int = 1000
+    warmup: int = 50
+
+
+def fig6_points(params: Fig6Params = None) -> List[Fig6Point]:
+    p = params or Fig6Params()
+    return [Fig6Point(kind, p.iterations, p.warmup) for kind in FIG6_KINDS]
+
+
+def run_fig6_point(pt: Fig6Point) -> float:
+    """Mean round-trip latency in ps for one bar of Figure 6."""
+    p = Fig6Params(iterations=pt.iterations, warmup=pt.warmup)
+    if pt.kind == "linux_yield_2x":
+        return _measure_linux_yield2(p)
+    if pt.kind == "linux_syscall":
+        return _measure_linux_syscall(p)
+    if pt.kind in ("m3v_local", "m3v_remote"):
+        return _measure_m3v_rpc(local=pt.kind == "m3v_local", p=p)
+    raise ValueError(f"unknown fig6 point kind {pt.kind!r}")
+
+
+def reduce_fig6(params: Fig6Params,
+                values: List[float]) -> Dict[str, Dict[str, float]]:
+    period_ps = BOOM.clock.period_ps
+    return {pt.kind: {"us": ps / 1e6, "kcycles": ps / period_ps / 1e3}
+            for pt, ps in zip(fig6_points(params), values)}
+
+
 def run_fig6(params: Fig6Params = None) -> Dict[str, Dict[str, float]]:
     """Returns rows: name -> {us, kcycles} like the two x-axes of Fig 6."""
     p = params or Fig6Params()
-    period_ps = BOOM.clock.period_ps
-    rows = {
-        "linux_yield_2x": _measure_linux_yield2(p),
-        "linux_syscall": _measure_linux_syscall(p),
-        "m3v_local": _measure_m3v_rpc(local=True, p=p),
-        "m3v_remote": _measure_m3v_rpc(local=False, p=p),
-    }
-    return {name: {"us": ps / 1e6, "kcycles": ps / period_ps / 1e3}
-            for name, ps in rows.items()}
+    return reduce_fig6(p, [run_fig6_point(pt) for pt in fig6_points(p)])

@@ -8,7 +8,7 @@ and the benchmark on one BOOM core; "isolated" gives each its own.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
 
 from repro.core.exps.common import fpga_config
 from repro.core.platform import build_m3v
@@ -130,14 +130,54 @@ def _run_linux(op: str, p: Fig7Params) -> float:
     return _mib_per_s(p.runs * p.file_bytes, out["ps"])
 
 
+# -- sweep decomposition (repro.runner) ---------------------------------------
+
+# (system, op, shared) for the six bars, in the order Figure 7 plots them
+FIG7_BARS = (("linux", "write", False), ("linux", "read", False),
+             ("m3v", "write", True), ("m3v", "write", False),
+             ("m3v", "read", True), ("m3v", "read", False))
+
+
+@dataclass(frozen=True)
+class Fig7Point:
+    system: str                # "linux" | "m3v"
+    op: str                    # "read" | "write"
+    shared: bool = False       # meaningful for m3v only
+    file_bytes: int = 2 * 1024 * 1024
+    buf_bytes: int = 4096
+    runs: int = 10
+    warmup: int = 4
+    max_extent_blocks: int = 64
+
+    @property
+    def name(self) -> str:
+        if self.system == "linux":
+            return f"linux_{self.op}"
+        return f"m3v_{self.op}_{'shared' if self.shared else 'isolated'}"
+
+
+def fig7_points(params: Fig7Params = None) -> List[Fig7Point]:
+    p = params or Fig7Params()
+    return [Fig7Point(system, op, shared, p.file_bytes, p.buf_bytes,
+                      p.runs, p.warmup, p.max_extent_blocks)
+            for system, op, shared in FIG7_BARS]
+
+
+def run_fig7_point(pt: Fig7Point) -> float:
+    """MiB/s for one bar of Figure 7."""
+    p = Fig7Params(file_bytes=pt.file_bytes, buf_bytes=pt.buf_bytes,
+                   runs=pt.runs, warmup=pt.warmup,
+                   max_extent_blocks=pt.max_extent_blocks)
+    if pt.system == "linux":
+        return _run_linux(pt.op, p)
+    return _run_m3v(pt.op, shared=pt.shared, p=p)
+
+
+def reduce_fig7(params: Fig7Params, values: List[float]) -> Dict[str, float]:
+    return {pt.name: v for pt, v in zip(fig7_points(params), values)}
+
+
 def run_fig7(params: Fig7Params = None) -> Dict[str, float]:
     """Returns MiB/s for the six bars of Figure 7."""
     p = params or Fig7Params()
-    return {
-        "linux_write": _run_linux("write", p),
-        "linux_read": _run_linux("read", p),
-        "m3v_write_shared": _run_m3v("write", shared=True, p=p),
-        "m3v_write_isolated": _run_m3v("write", shared=False, p=p),
-        "m3v_read_shared": _run_m3v("read", shared=True, p=p),
-        "m3v_read_isolated": _run_m3v("read", shared=False, p=p),
-    }
+    return reduce_fig7(p, [run_fig7_point(pt) for pt in fig7_points(p)])

@@ -8,7 +8,7 @@ runs; the peer is the fast remote host over a direct gigabit link
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
 
 from repro.core.exps.common import fpga_config
 from repro.core.platform import build_m3v
@@ -83,11 +83,41 @@ def _run_linux(p: Fig8Params) -> float:
     return out["ps"] / 1e6
 
 
+# -- sweep decomposition (repro.runner) ---------------------------------------
+
+FIG8_KINDS = ("linux", "m3v_shared", "m3v_isolated")
+
+
+@dataclass(frozen=True)
+class Fig8Point:
+    kind: str
+    repetitions: int = 50
+    warmup: int = 5
+    payload_bytes: int = 1
+
+
+def fig8_points(params: Fig8Params = None) -> List[Fig8Point]:
+    p = params or Fig8Params()
+    return [Fig8Point(kind, p.repetitions, p.warmup, p.payload_bytes)
+            for kind in FIG8_KINDS]
+
+
+def run_fig8_point(pt: Fig8Point) -> float:
+    """Mean RTT in microseconds for one bar of Figure 8."""
+    p = Fig8Params(repetitions=pt.repetitions, warmup=pt.warmup,
+                   payload_bytes=pt.payload_bytes)
+    if pt.kind == "linux":
+        return _run_linux(p)
+    if pt.kind in ("m3v_shared", "m3v_isolated"):
+        return _run_m3v(shared=pt.kind == "m3v_shared", p=p)
+    raise ValueError(f"unknown fig8 point kind {pt.kind!r}")
+
+
+def reduce_fig8(params: Fig8Params, values: List[float]) -> Dict[str, float]:
+    return {pt.kind: v for pt, v in zip(fig8_points(params), values)}
+
+
 def run_fig8(params: Fig8Params = None) -> Dict[str, float]:
     """Returns mean RTT in microseconds for the three bars of Figure 8."""
     p = params or Fig8Params()
-    return {
-        "linux": _run_linux(p),
-        "m3v_shared": _run_m3v(shared=True, p=p),
-        "m3v_isolated": _run_m3v(shared=False, p=p),
-    }
+    return reduce_fig8(p, [run_fig8_point(pt) for pt in fig8_points(p)])

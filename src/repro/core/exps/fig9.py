@@ -97,10 +97,47 @@ def _throughput(build, n_tiles: int, p: Fig9Params) -> float:
     return sum(p.runs / (out["ps"] / 1e12) for out in results.values())
 
 
+# -- sweep decomposition (repro.runner) ---------------------------------------
+
+_BUILDERS = {"m3v": build_m3v, "m3x": build_m3x}
+
+
+@dataclass(frozen=True)
+class Fig9Point:
+    system: str                # "m3v" | "m3x"
+    n_tiles: int
+    trace: str = "find"
+    runs: int = 2
+    find_dirs: int = 24
+    find_files: int = 40
+    sqlite_txns: int = 32
+    fs_blocks: int = 512
+
+
+def fig9_points(params: Fig9Params = None) -> List[Fig9Point]:
+    p = params or Fig9Params()
+    return [Fig9Point(system, n, p.trace, p.runs, p.find_dirs,
+                      p.find_files, p.sqlite_txns, p.fs_blocks)
+            for system in ("m3v", "m3x") for n in p.tile_counts]
+
+
+def run_fig9_point(pt: Fig9Point) -> float:
+    """Aggregate runs/s for one (system, tile count) curve point."""
+    p = Fig9Params(tile_counts=[pt.n_tiles], trace=pt.trace, runs=pt.runs,
+                   find_dirs=pt.find_dirs, find_files=pt.find_files,
+                   sqlite_txns=pt.sqlite_txns, fs_blocks=pt.fs_blocks)
+    return _throughput(_BUILDERS[pt.system], pt.n_tiles, p)
+
+
+def reduce_fig9(params: Fig9Params,
+                values: List[float]) -> Dict[str, Dict[int, float]]:
+    out: Dict[str, Dict[int, float]] = {"m3v": {}, "m3x": {}}
+    for pt, v in zip(fig9_points(params), values):
+        out[pt.system][pt.n_tiles] = v
+    return out
+
+
 def run_fig9(params: Fig9Params = None) -> Dict[str, Dict[int, float]]:
     """Returns {system -> {n_tiles -> aggregate runs/s}}."""
     p = params or Fig9Params()
-    return {
-        "m3v": {n: _throughput(build_m3v, n, p) for n in p.tile_counts},
-        "m3x": {n: _throughput(build_m3x, n, p) for n in p.tile_counts},
-    }
+    return reduce_fig9(p, [run_fig9_point(pt) for pt in fig9_points(p)])

@@ -10,7 +10,7 @@ overhead (paper: 384 ms isolated vs 398 ms shared, +3.6%).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
 
 from repro.apps.compress import make_audio
 from repro.apps.voice import (
@@ -86,12 +86,41 @@ def run_voice_once(shared: bool, p: VoiceParams) -> Dict[str, float]:
             "compression_ratio": env["bytes_in"] / max(1, env["bytes_out"])}
 
 
+# -- sweep decomposition (repro.runner) ---------------------------------------
+
+@dataclass(frozen=True)
+class VoicePoint:
+    shared: bool
+    rep: int                    # repetition index (averaged by the reducer)
+    triggers: int = 8
+    scanner_tile: int = 0
+
+
+def voice_points(params: VoiceParams = None) -> List[VoicePoint]:
+    p = params or VoiceParams()
+    return [VoicePoint(shared, rep, p.triggers, p.scanner_tile)
+            for shared in (False, True) for rep in range(p.repetitions)]
+
+
+def run_voice_point(pt: VoicePoint) -> Dict[str, float]:
+    """One end-to-end pipeline run; the full run_voice_once row."""
+    p = VoiceParams(triggers=pt.triggers, repetitions=1,
+                    scanner_tile=pt.scanner_tile)
+    return run_voice_once(pt.shared, p)
+
+
+def reduce_voice(params: VoiceParams,
+                 values: List[Dict[str, float]]) -> Dict[str, float]:
+    points = voice_points(params)
+    iso = [v["ms"] for pt, v in zip(points, values) if not pt.shared]
+    sha = [v["ms"] for pt, v in zip(points, values) if pt.shared]
+    isolated = sum(iso) / len(iso)
+    shared = sum(sha) / len(sha)
+    return {"isolated_ms": isolated, "shared_ms": shared,
+            "overhead_pct": 100.0 * (shared - isolated) / isolated}
+
+
 def run_voice(params: VoiceParams = None) -> Dict[str, float]:
     """Returns isolated/shared runtimes (ms) and the sharing overhead."""
     p = params or VoiceParams()
-    isolated = sum(run_voice_once(False, p)["ms"]
-                   for _ in range(p.repetitions)) / p.repetitions
-    shared = sum(run_voice_once(True, p)["ms"]
-                 for _ in range(p.repetitions)) / p.repetitions
-    return {"isolated_ms": isolated, "shared_ms": shared,
-            "overhead_pct": 100.0 * (shared - isolated) / isolated}
+    return reduce_voice(p, [run_voice_point(pt) for pt in voice_points(p)])

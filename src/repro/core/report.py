@@ -51,6 +51,37 @@ def series_chart(title: str, series: Mapping[str, Mapping[int, float]],
     return "\n".join(lines)
 
 
+def format_duration(seconds: float) -> str:
+    """Compact wall-clock rendering for progress and summary lines."""
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m"
+    return f"{minutes}m{secs:02d}s"
+
+
+def progress_line(sweep: str, done: int, total: int, cached: int,
+                  elapsed_s: float, eta_s: float) -> str:
+    """One scheduler progress tick, e.g. ``[fig9] 7/24 ...``."""
+    cached_part = f", {cached} cached" if cached else ""
+    return (f"[{sweep}] {done}/{total} points{cached_part}, "
+            f"{format_duration(elapsed_s)} elapsed, "
+            f"eta {format_duration(eta_s)}")
+
+
+def runner_summary(runner, elapsed_s: float = None) -> str:
+    """End-of-run line for a :class:`repro.runner.Runner`."""
+    parts = [f"runner: {runner.total_points} points",
+             f"{runner.simulated} simulated",
+             f"{runner.served} from cache (jobs={runner.jobs})"]
+    line = " — ".join([parts[0], ", ".join(parts[1:])])
+    if elapsed_s is not None:
+        line += f" in {format_duration(elapsed_s)}"
+    return line
+
+
 def render_report(results: Dict) -> str:
     """The full ASCII report over a run_experiments results dict."""
     parts: List[str] = []

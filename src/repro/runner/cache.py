@@ -1,0 +1,148 @@
+"""Content-addressed on-disk result cache.
+
+A point's cache key is the SHA-256 of a canonical-JSON document
+covering everything that determines its result:
+
+* the sweep name and the per-point seed,
+* the point config, canonicalized (dict order never matters, integral
+  floats collapse to ints, tuples to lists — so a config that
+  round-trips through JSON or ``dataclasses.asdict`` keys identically),
+* a *code fingerprint*: the hash of the sweep's fingerprint source
+  files (by default the experiment module and ``tiles/costs.py``),
+* whether the point ran under trace capture (traced and untraced
+  results live in separate namespaces).
+
+Entries are JSON files under ``.repro-cache/<k[:2]>/<key>.json``,
+written atomically so concurrent workers never serve torn entries.
+Because keys are content-addressed there is no invalidation protocol:
+editing a fingerprint file simply makes affected points miss, while
+every other sweep's entries keep hitting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "cache_key",
+    "canonical_json",
+    "canonical_value",
+    "file_fingerprint",
+]
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def canonical_value(obj: Any) -> Any:
+    """JSON-safe canonical form: equal configs => equal documents.
+
+    bools stay bools (``True`` is not ``1``); integral floats collapse
+    to ints (``1.0`` keys like ``1``); tuples/lists both become lists;
+    sets are sorted; dataclasses become plain field dicts; dict keys
+    are stringified (ordering is handled by ``sort_keys`` at dump
+    time).
+    """
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, float):
+        if math.isfinite(obj) and obj.is_integer():
+            return int(obj)
+        return obj
+    if isinstance(obj, int):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: canonical_value(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): canonical_value(v) for k, v in obj.items()}
+    if isinstance(obj, (set, frozenset)):
+        return [canonical_value(v) for v in sorted(obj)]
+    if isinstance(obj, (list, tuple)):
+        return [canonical_value(v) for v in obj]
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for a "
+                    f"cache key: {obj!r}")
+
+
+def canonical_json(obj: Any) -> str:
+    return json.dumps(canonical_value(obj), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
+
+
+def file_fingerprint(paths: Iterable[str]) -> str:
+    """SHA-256 over the names and contents of ``paths`` (in order)."""
+    h = hashlib.sha256()
+    for path in paths:
+        p = Path(path)
+        h.update(p.name.encode())
+        h.update(b"\0")
+        h.update(p.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def cache_key(spec, code_fingerprint: str, trace: bool = False) -> str:
+    """The content address of one point's result."""
+    payload = {
+        "version": CACHE_VERSION,
+        "sweep": spec.sweep,
+        "seed": spec.seed,
+        "config": canonical_value(spec.config),
+        "code": code_fingerprint,
+        "trace": bool(trace),
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+class ResultCache:
+    """Keyed JSON entries on disk, with hit/miss counters.
+
+    ``refresh=True`` makes every lookup miss (forcing re-simulation)
+    while still writing fresh entries — the ``--refresh-cache`` flag.
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR,
+                 refresh: bool = False):
+        self.root = Path(root)
+        self.refresh = refresh
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        if not self.refresh:
+            try:
+                with open(self._path(key)) as fh:
+                    entry = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                pass
+            else:
+                self.hits += 1
+                return entry
+        self.misses += 1
+        return None
+
+    def put(self, key: str, entry: Dict[str, Any]) -> Path:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "w") as fh:
+            json.dump(entry, fh, sort_keys=True)
+            fh.write("\n")
+        tmp.replace(path)       # atomic: readers see whole entries only
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultCache({self.root}, hits={self.hits}, "
+                f"misses={self.misses})")

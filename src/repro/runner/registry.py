@@ -1,0 +1,102 @@
+"""The sweep registry: a figure as data.
+
+A :class:`Sweep` declares an experiment as a list of points plus a
+reducer: ``points(params)`` expands sweep-level parameters into frozen
+per-point configs, ``point_fn(config)`` simulates exactly one point
+(pure, picklable — it builds its own platforms), and
+``reduce(params, values)`` assembles the figure's result structure from
+the point values *in points order*.  The scheduler
+(:mod:`repro.runner.scheduler`) only ever sees this interface, so
+fanning a figure out over worker processes cannot change its results.
+
+``fingerprint_paths`` lists the source files whose contents are hashed
+into every cache key of the sweep (:mod:`repro.runner.cache`); by
+default the experiment module itself plus the cost calibration
+(``repro/tiles/costs.py``) — the two inputs that determine simulated
+numbers for a fixed config.  Editing either re-simulates the sweep's
+points; unrelated sweeps keep their cache entries.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Sweep", "get_sweep", "register", "sweep_names", "unregister"]
+
+
+@dataclass(frozen=True)
+class Sweep:
+    name: str
+    points: Callable[[Any], List[Any]]
+    point_fn: Callable[[Any], Any]
+    reduce: Callable[[Any, List[Any]], Any]
+    params_cls: Optional[type] = None
+    fingerprint_paths: Tuple[str, ...] = field(default_factory=tuple)
+
+
+SWEEPS: Dict[str, Sweep] = {}
+_BUILTIN_LOADED = False
+
+
+def register(sweep: Sweep, replace: bool = False) -> Sweep:
+    if sweep.name in SWEEPS and not replace:
+        raise ValueError(f"sweep {sweep.name!r} already registered")
+    SWEEPS[sweep.name] = sweep
+    return sweep
+
+
+def unregister(name: str) -> None:
+    SWEEPS.pop(name, None)
+
+
+def default_fingerprint_paths(point_fn: Callable) -> Tuple[str, ...]:
+    """The experiment module defining ``point_fn`` + the cost model."""
+    from repro.tiles import costs
+
+    return (inspect.getsourcefile(point_fn), costs.__file__)
+
+
+def get_sweep(name: str) -> Sweep:
+    _load_builtin()
+    try:
+        return SWEEPS[name]
+    except KeyError:
+        raise KeyError(f"unknown sweep {name!r}; known: "
+                       f"{', '.join(sorted(SWEEPS))}") from None
+
+
+def sweep_names() -> List[str]:
+    _load_builtin()
+    return sorted(SWEEPS)
+
+
+def _load_builtin() -> None:
+    """Register the paper's figures on first use (import-cycle safe)."""
+    global _BUILTIN_LOADED
+    if _BUILTIN_LOADED:
+        return
+    _BUILTIN_LOADED = True
+    from repro.core import exps
+
+    builtin = [
+        ("fig6", exps.Fig6Params, exps.fig6_points, exps.run_fig6_point,
+         exps.reduce_fig6),
+        ("fig7", exps.Fig7Params, exps.fig7_points, exps.run_fig7_point,
+         exps.reduce_fig7),
+        ("fig8", exps.Fig8Params, exps.fig8_points, exps.run_fig8_point,
+         exps.reduce_fig8),
+        ("fig9", exps.Fig9Params, exps.fig9_points, exps.run_fig9_point,
+         exps.reduce_fig9),
+        ("fig10", exps.Fig10Params, exps.fig10_points, exps.run_fig10_point,
+         exps.reduce_fig10),
+        ("voice", exps.VoiceParams, exps.voice_points, exps.run_voice_point,
+         exps.reduce_voice),
+    ]
+    for name, params_cls, points, point_fn, reduce in builtin:
+        if name in SWEEPS:       # a test replaced it before first load
+            continue
+        register(Sweep(name=name, points=points, point_fn=point_fn,
+                       reduce=reduce, params_cls=params_cls,
+                       fingerprint_paths=default_fingerprint_paths(point_fn)))

@@ -1,0 +1,197 @@
+"""The process-pool scheduler.
+
+:class:`Runner` fans point specs out over ``jobs`` worker processes
+(``concurrent.futures.ProcessPoolExecutor``) and collects results *in
+submission order*, so the values handed to a sweep's reducer are
+positionally identical to what the serial path produces.  Three
+properties make parallel == serial exact:
+
+* point functions are pure — each builds its own platforms, and trace
+  canonicalization (:mod:`repro.testing.golden`) renumbers the
+  process-global counters, so a point behaves identically in a fresh
+  worker and mid-way through a serial run;
+* every point's RNG is seeded from ``(sweep, index)`` before it runs
+  (:func:`repro.runner.points.point_seed`), never from inherited
+  process state, so worker assignment and completion order are
+  invisible;
+* results are placed by the position their spec was submitted at, not
+  by completion order.
+
+With a :class:`~repro.runner.cache.ResultCache` attached, points whose
+key already has an entry are served without simulating; the rest run
+and are written back.  ``trace=True`` additionally captures each
+point's canonical trace digest (the golden-trace machinery), which the
+parity tests compare between serial and parallel executions.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.report import progress_line
+from repro.runner import registry
+from repro.runner.cache import ResultCache, cache_key, canonical_value, \
+    file_fingerprint
+from repro.runner.points import PointSpec, make_specs
+
+__all__ = ["PointOutcome", "Runner", "run_point"]
+
+
+@dataclass
+class PointOutcome:
+    """One executed (or cache-served) point, in submission order."""
+
+    spec: PointSpec
+    value: Any
+    cached: bool
+    elapsed_s: float
+    key: Optional[str] = None
+    trace_digest: Optional[Dict[str, Any]] = None
+
+
+def run_point(spec: PointSpec, with_trace: bool = False
+              ) -> Tuple[Any, Optional[Dict[str, Any]], float]:
+    """Execute one point: seed its RNG, simulate, optionally trace.
+
+    Returns ``(value, trace_digest_or_None, wall_seconds)``.  This is
+    the single execution path for both the serial (``jobs=1``) and the
+    pooled case — workers call it via :func:`_pool_run`.
+    """
+    sweep = registry.get_sweep(spec.sweep)
+    random.seed(spec.seed)
+    start = time.perf_counter()
+    if with_trace:
+        from repro.sim.trace import capture
+        from repro.testing.golden import digest
+
+        with capture(exclude=("evq_pop",)) as tracer:
+            value = sweep.point_fn(spec.config)
+        trace_digest = digest(tracer)
+    else:
+        value = sweep.point_fn(spec.config)
+        trace_digest = None
+    return value, trace_digest, time.perf_counter() - start
+
+
+def _pool_run(args: Tuple[PointSpec, bool]):
+    spec, with_trace = args
+    return run_point(spec, with_trace)
+
+
+class Runner:
+    """Schedules point specs over a process pool, with caching.
+
+    ``jobs=1`` runs everything in-process (the serial path).  Counters:
+    ``simulated`` points actually executed, ``served`` points answered
+    from cache; ``cache_hits``/``cache_misses`` mirror the attached
+    cache's counters.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 trace: bool = False, progress: bool = False,
+                 stream=None):
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.trace = trace
+        self.progress = progress
+        self.stream = stream if stream is not None else sys.stderr
+        self.simulated = 0
+        self.served = 0
+        self._fingerprints: Dict[str, str] = {}
+
+    # -- cache plumbing -------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits if self.cache is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses if self.cache is not None else 0
+
+    @property
+    def total_points(self) -> int:
+        return self.simulated + self.served
+
+    def _fingerprint(self, sweep_name: str) -> str:
+        fp = self._fingerprints.get(sweep_name)
+        if fp is None:
+            sweep = registry.get_sweep(sweep_name)
+            fp = file_fingerprint(sweep.fingerprint_paths)
+            self._fingerprints[sweep_name] = fp
+        return fp
+
+    # -- execution ------------------------------------------------------------
+
+    def run_sweep(self, name: str, params: Optional[Any] = None) -> Any:
+        """Run a whole sweep and return its reduced figure structure."""
+        sweep = registry.get_sweep(name)
+        outcomes = self.run_points(make_specs(name, params))
+        return sweep.reduce(params, [o.value for o in outcomes])
+
+    def run_points(self, specs: Sequence[PointSpec]) -> List[PointOutcome]:
+        """Execute ``specs``; outcomes are ordered like ``specs``."""
+        outcomes: List[Optional[PointOutcome]] = [None] * len(specs)
+        pending: List[Tuple[int, PointSpec, Optional[str]]] = []
+
+        for pos, spec in enumerate(specs):
+            key = None
+            if self.cache is not None:
+                key = cache_key(spec, self._fingerprint(spec.sweep),
+                                trace=self.trace)
+                entry = self.cache.get(key)
+                if entry is not None:
+                    outcomes[pos] = PointOutcome(
+                        spec, entry["value"], True, 0.0, key,
+                        entry.get("trace_digest"))
+                    self.served += 1
+                    continue
+            pending.append((pos, spec, key))
+
+        started = time.perf_counter()
+        done = 0
+
+        def finish(pos: int, spec: PointSpec, key: Optional[str],
+                   value: Any, trace_digest, elapsed: float) -> None:
+            nonlocal done
+            outcomes[pos] = PointOutcome(spec, value, False, elapsed, key,
+                                         trace_digest)
+            self.simulated += 1
+            done += 1
+            if self.cache is not None and key is not None:
+                entry = {"sweep": spec.sweep, "index": spec.index,
+                         "seed": spec.seed,
+                         "config": canonical_value(spec.config),
+                         "value": value, "elapsed_s": elapsed}
+                if trace_digest is not None:
+                    entry["trace_digest"] = trace_digest
+                self.cache.put(key, entry)
+            if self.progress:
+                wall = time.perf_counter() - started
+                remaining = len(pending) - done
+                rate = wall / done
+                eta = rate * remaining / min(self.jobs, max(1, remaining))
+                print(progress_line(spec.sweep, done, len(pending),
+                                    len(specs) - len(pending), wall, eta),
+                      file=self.stream, flush=True)
+
+        if pending and self.jobs == 1:
+            for pos, spec, key in pending:
+                value, trace_digest, elapsed = run_point(spec, self.trace)
+                finish(pos, spec, key, value, trace_digest, elapsed)
+        elif pending:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = {
+                    pool.submit(_pool_run, (spec, self.trace)): (pos, spec, key)
+                    for pos, spec, key in pending}
+                for future in as_completed(futures):
+                    pos, spec, key = futures[future]
+                    value, trace_digest, elapsed = future.result()
+                    finish(pos, spec, key, value, trace_digest, elapsed)
+
+        return outcomes  # type: ignore[return-value]

@@ -87,7 +87,9 @@ class Histogram:
         if lo == hi:
             return xs[lo]
         frac = pos - lo
-        return xs[lo] * (1 - frac) + xs[hi] * frac
+        # one-sided form: exact when both endpoints are equal (the
+        # symmetric lerp can round past them and break monotonicity)
+        return xs[lo] + (xs[hi] - xs[lo]) * frac
 
     def __repr__(self) -> str:
         if not self.samples:
