@@ -28,6 +28,7 @@ from repro.core.exps import (
     Fig8Params,
     Fig9Params,
     Fig10Params,
+    FigRParams,
     VoiceParams,
 )
 from repro.core.report import runner_summary
@@ -52,6 +53,8 @@ def build_plan(quick: bool):
             ("fig10", None, "fig10", Fig10Params(records=60, operations=60,
                                                  runs=1, warmup=0)),
             ("voice", None, "voice", VoiceParams(triggers=4)),
+            ("figR", None, "figR",
+             FigRParams(messages=15, fault_rates=[0.0, 0.1])),
         ]
     return [
         ("fig6", None, "fig6", Fig6Params(iterations=1000, warmup=50)),
@@ -61,6 +64,7 @@ def build_plan(quick: bool):
         ("fig9", "sqlite", "fig9", Fig9Params(trace="sqlite", runs=2)),
         ("fig10", None, "fig10", Fig10Params(runs=2, warmup=1)),
         ("voice", None, "voice", VoiceParams(triggers=8, repetitions=1)),
+        ("figR", None, "figR", FigRParams()),
     ]
 
 
@@ -72,7 +76,7 @@ def parse_args(argv=None):
                         help="worker processes for the point sweeps")
     parser.add_argument("--only", action="append", metavar="NAME",
                         help="run only these figures (table1, fig6..fig10, "
-                             "voice); repeatable")
+                             "figR, voice); repeatable")
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down workloads (CI smoke)")
     parser.add_argument("--no-cache", action="store_true",
@@ -126,6 +130,12 @@ def main(argv=None) -> int:
     stamp(f"written to {args.out}")
     print(runner_summary(runner, time.time() - t0), flush=True)
 
+    if runner.failed > 0:
+        print(f"error: {runner.failed} point(s) failed:", file=sys.stderr)
+        for outcome in runner.failures:
+            print(f"  {outcome.spec.sweep}[{outcome.spec.index}]: "
+                  f"{outcome.error}", file=sys.stderr)
+        return 1
     if args.expect_cached and runner.simulated > 0:
         print(f"error: --expect-cached but {runner.simulated} point(s) "
               f"had to simulate", file=sys.stderr)

@@ -4,7 +4,7 @@ Commands
 --------
 ``area``      print Table 1 and the derived ratios
 ``sloc``      print the section-6.1 complexity report
-``fig6|fig7|fig8|fig9|fig10|voice``
+``fig6|fig7|fig8|fig9|fig10|figR|voice``
               run one experiment (shortened workloads; ``--paper`` for
               the full parameters) and print its ASCII figure.  All of
               these go through the parallel runner: ``--jobs N`` fans
@@ -130,6 +130,29 @@ def _cmd_fig10(args) -> int:
     return 0
 
 
+def _cmd_figr(args) -> int:
+    from repro.core.exps.figr import FigRParams
+
+    if args.paper:
+        p = FigRParams()
+    else:
+        p = FigRParams(messages=15, fault_rates=[0.0, 0.05, 0.1])
+    data = _sweep_result("figR", p, args)
+    print("Figure R — goodput and tail latency vs NoC fault rate")
+    for system, by_rate in data.items():
+        print(f"  {system}:")
+        for rate, row in sorted(by_rate.items()):
+            if row is None:
+                print(f"    rate {rate:4.0%}  FAILED")
+                continue
+            print(f"    rate {rate:4.0%}  {row['goodput_rps']:8.0f} rps  "
+                  f"p50 {row['p50_us']:7.1f} us  p99 {row['p99_us']:7.1f} us  "
+                  f"retx {row['retransmits']:3d}  "
+                  f"slow {row['slow_paths']:3d}  "
+                  f"failed {row['failures']:2d}")
+    return 0
+
+
 def _cmd_voice(args) -> int:
     from repro.core.exps.voice import VoiceParams
 
@@ -215,7 +238,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("area").set_defaults(func=_cmd_area)
     sub.add_parser("sloc").set_defaults(func=_cmd_sloc)
     for name, func in (("fig6", _cmd_fig6), ("fig7", _cmd_fig7),
-                       ("fig8", _cmd_fig8), ("voice", _cmd_voice)):
+                       ("fig8", _cmd_fig8), ("figR", _cmd_figr),
+                       ("voice", _cmd_voice)):
         p = sub.add_parser(name, parents=[runner_opts])
         p.add_argument("--paper", action="store_true",
                        help="full paper-scale parameters")

@@ -34,6 +34,10 @@ from repro.core.exps.fig10 import (
     Fig10Params, Fig10Point, fig10_points, reduce_fig10, run_fig10,
     run_fig10_point,
 )
+from repro.core.exps.figr import (
+    FigRParams, FigRPoint, figr_points, reduce_figr, run_figr,
+    run_figr_point,
+)
 from repro.core.exps.voice import (
     VoiceParams, VoicePoint, reduce_voice, run_voice, run_voice_point,
     voice_points,
@@ -50,6 +54,8 @@ __all__ = [
     "reduce_fig9", "run_fig9",
     "Fig10Params", "Fig10Point", "fig10_points", "run_fig10_point",
     "reduce_fig10", "run_fig10",
+    "FigRParams", "FigRPoint", "figr_points", "run_figr_point",
+    "reduce_figr", "run_figr",
     "VoiceParams", "VoicePoint", "voice_points", "run_voice_point",
     "reduce_voice", "run_voice",
 ]

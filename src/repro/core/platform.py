@@ -101,6 +101,10 @@ class M3vPlatform:
     def mux(self, tile_id: int) -> TileMux:
         return self.tiles[tile_id].mux
 
+    def proc_tiles(self) -> List[Tile]:
+        """The processing tiles, in tile-id order."""
+        return [self.tiles[tid] for tid in self.proc_tile_ids]
+
     def vdtu(self, tile_id: int) -> VDtu:
         return self.tiles[tile_id].dtu
 

@@ -77,6 +77,9 @@ def runner_summary(runner, elapsed_s: float = None) -> str:
              f"{runner.simulated} simulated",
              f"{runner.served} from cache (jobs={runner.jobs})"]
     line = " — ".join([parts[0], ", ".join(parts[1:])])
+    failed = getattr(runner, "failed", 0)
+    if failed:
+        line += f", {failed} FAILED"
     if elapsed_s is not None:
         line += f" in {format_duration(elapsed_s)}"
     return line
@@ -121,6 +124,21 @@ def render_report(results: Dict) -> str:
                 f"Figure 10 — YCSB {mix}-heavy, total runtime (s)",
                 {sys: row["total_s"] for sys, row in systems.items()},
                 unit="s"))
+
+    if "figR" in results:
+        figr = {sys: {float(k): v for k, v in ys.items()}
+                for sys, ys in results["figR"].items()}
+        rates = sorted({r for ys in figr.values() for r in ys})
+        label_w = max(len(s) for s in figr)
+        lines = ["Figure R — resilience: goodput (round trips/s) vs "
+                 "NoC fault rate",
+                 "  " + " " * label_w + "".join(f"{r:>9.0%}" for r in rates)]
+        for sys_name, ys in figr.items():
+            cells = "".join(
+                f"{'—':>9s}" if ys.get(r) is None
+                else f"{ys[r]['goodput_rps']:9.0f}" for r in rates)
+            lines.append(f"  {sys_name:{label_w}s}{cells}   rps")
+        parts.append("\n".join(lines))
 
     if "voice" in results:
         v = results["voice"]
@@ -182,5 +200,17 @@ def shape_checks(results: Dict) -> List[str]:
     if voice:
         expect(0 < voice["overhead_pct"] < 15,
                "voice: small sharing overhead")
+
+    figr = results.get("figR")
+    if figr and "m3v" in figr and "m3x" in figr:
+        m3v = {float(k): v for k, v in figr["m3v"].items()}
+        m3x = {float(k): v for k, v in figr["m3x"].items()}
+        top = max((r for r in m3v if r > 0 and m3v[r] and m3x.get(r)),
+                  default=None)
+        if top is not None:
+            expect(m3v[top]["goodput_rps"] > m3x[top]["goodput_rps"],
+                   "figR: M3v degrades more gracefully than M3x")
+            expect(m3v[top]["failures"] == 0,
+                   "figR: no abandoned round trips on M3v")
 
     return failures

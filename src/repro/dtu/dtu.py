@@ -51,6 +51,13 @@ class WireMsg:
     credit_ep: Optional[int] = None     # sender sEP to re-credit on ack
     is_reply: bool = False
     credit_return_ep: Optional[int] = None  # for replies: sEP at dst to credit
+    # recovery-layer channel sequencing (repro.faults): both stay None
+    # unless the sending mux runs a recovery policy, in which case the
+    # receiving DTU dedups retransmitted copies by (chan, chan_seq)
+    chan: Optional[int] = None
+    chan_seq: Optional[int] = None
+    # set in flight by a corrupting link fault; models a checksum failure
+    corrupt: bool = False
     # end-to-end identity for trace-based conservation checks; unique per
     # interpreter, renumbered by the canonical trace serializer
     uid: int = field(default_factory=lambda: next(_msg_uids))
@@ -63,6 +70,9 @@ class ExtOp(enum.Enum):
     INVAL_EP = "inval_ep"
     READ_EPS = "read_eps"        # M3x: controller saves DTU state
     WRITE_EPS = "write_eps"      # M3x: controller restores DTU state
+    SWAP_EPS = "swap_eps"        # M3x: atomic save-and-invalidate — a
+                                 # read/invalidate pair would lose any
+                                 # message deposited between the two
 
 
 @dataclass
@@ -85,6 +95,15 @@ class Dtu:
         self.eps: List[Endpoint] = [Endpoint() for _ in range(self.params.num_endpoints)]
         self._inbox = fabric.attach(tile)
         self._pending: Dict[int, Any] = {}   # tag -> completion Event
+        # fault/recovery hooks (repro.faults); both inert by default so
+        # the fault-free path is byte-identical to the plain DTU
+        self.recovery = None        # RecoveryPolicy: arms MSG ack timeouts
+        self._stall_until = 0       # stuck-tile fault: inbox frozen until then
+        # (chan, chan_seq) of sends whose outcome is unknown (ack timed
+        # out): the credit stays taken across retransmissions, because
+        # the message may have been delivered and its eventual reply
+        # returns the credit — returning it locally too would overflow
+        self._credit_held: set = set()
         # message-available line towards the attached component (used by the
         # controller and device tiles to sleep instead of polling)
         self.msg_callback = None
@@ -144,11 +163,15 @@ class Dtu:
 
     def cmd_send(self, ep_id: int, data: Any, size: int,
                  reply_ep: Optional[int] = None,
-                 virt_addr: int = 0) -> Generator:
+                 virt_addr: int = 0,
+                 seq: Optional[Tuple[int, int]] = None) -> Generator:
         """SEND: transmit a message over a send endpoint.
 
         Completes when the remote DTU acknowledged storing the message.
-        Raises :class:`DtuFault` on any error.
+        Raises :class:`DtuFault` on any error.  ``seq`` is the recovery
+        layer's ``(channel, sequence)`` pair: a retransmission of the
+        same logical message carries the same pair, and the receiving
+        DTU drops copies it already deposited.
         """
         # command registers: ep, addr, size, reply ep + trigger + poll
         yield from self._mmio(5)
@@ -156,15 +179,21 @@ class Dtu:
         ep = self._usable_ep(ep_id, EndpointKind.SEND)
         if size > ep.max_msg_size:
             raise DtuFault(DtuError.MSG_TOO_LARGE, f"{size} > {ep.max_msg_size}")
-        if not ep.has_credits:
-            raise DtuFault(DtuError.MISSING_CREDITS)
-        self._translate(virt_addr, size, Perm.R)
-        ep.take_credit()
+        held = seq is not None and seq in self._credit_held
+        if not held:
+            if not ep.has_credits:
+                raise DtuFault(DtuError.MISSING_CREDITS)
+            self._translate(virt_addr, size, Perm.R)
+            ep.take_credit()
+        else:
+            self._translate(virt_addr, size, Perm.R)
         # DMA the message out of the core's memory
         yield self.sim.timeout(self.params.dma_ps(size))
         wire = WireMsg(dst_ep=ep.dst_ep, label=ep.label, data=data, size=size,
                        src_tile=self.tile, reply_ep=reply_ep,
-                       credit_ep=ep_id if ep.max_credits != -1 else None)
+                       credit_ep=ep_id if ep.max_credits != -1 else None,
+                       chan=None if seq is None else seq[0],
+                       chan_seq=None if seq is None else seq[1])
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit(self.sim, "msg_send", tile=self.tile, ep=ep_id,
@@ -172,15 +201,28 @@ class Dtu:
                         uid=wire.uid, reply=False)
         error = yield from self._transact(PacketKind.MSG, ep.dst_tile, wire, size)
         if error is not DtuError.NONE:
-            ep.return_credit()
+            if seq is not None and (error is DtuError.TIMEOUT or held):
+                # outcome unknown (now or from an earlier attempt): the
+                # message may sit in the receiver's buffer, so the credit
+                # must stay taken until a definitive acknowledgement
+                self._credit_held.add(seq)
+            else:
+                ep.return_credit()
             raise DtuFault(error, f"send to tile {ep.dst_tile} ep {ep.dst_ep}")
+        if held:
+            self._credit_held.discard(seq)
         self.stats.counter("dtu/sends").add()
 
     def cmd_reply(self, ep_id: int, msg: Message, data: Any, size: int,
-                  virt_addr: int = 0) -> Generator:
+                  virt_addr: int = 0,
+                  seq: Optional[Tuple[int, int]] = None) -> Generator:
         """REPLY: answer a message fetched from receive EP ``ep_id``.
 
-        Implicitly returns the sender's credit and frees the slot.
+        Implicitly returns the sender's credit and frees the slot.  A
+        recovery-layer retransmission (same ``seq``) of a reply whose
+        slot was already freed re-sends the same wire message — including
+        the original credit return, which the receiver's dedup guarantees
+        is applied at most once.
         """
         yield from self._mmio(5)
         yield self.sim.timeout(self.params.cmd_setup_ps)
@@ -189,17 +231,24 @@ class Dtu:
             raise DtuFault(DtuError.UNKNOWN_EP, "message has no reply endpoint")
         self._translate(virt_addr, size, Perm.R)
         yield self.sim.timeout(self.params.dma_ps(size))
+        in_buffer = any(slot is msg for slot in ep.buffer)
+        if in_buffer:
+            msg.reply_credit = None if msg.credited else msg.credit_ep
+            msg.credited = True
         wire = WireMsg(dst_ep=msg.reply_ep, label=msg.label, data=data,
                        size=size, src_tile=self.tile, is_reply=True,
-                       credit_return_ep=None if msg.credited else msg.credit_ep)
-        msg.credited = True
+                       credit_return_ep=msg.reply_credit,
+                       chan=None if seq is None else seq[0],
+                       chan_seq=None if seq is None else seq[1])
         was_read = msg.read
-        ep.ack(msg)
+        if in_buffer:
+            ep.ack(msg)
         tracer = self.sim.tracer
         if tracer is not None:
-            tracer.emit(self.sim, "msg_ack", tile=self.tile, ep=ep_id,
-                        act=ep.act, uid=msg.uid, unread=ep.unread,
-                        freed_unread=not was_read)
+            if in_buffer:
+                tracer.emit(self.sim, "msg_ack", tile=self.tile, ep=ep_id,
+                            act=ep.act, uid=msg.uid, unread=ep.unread,
+                            freed_unread=not was_read)
             tracer.emit(self.sim, "msg_send", tile=self.tile, ep=ep_id,
                         dst_tile=msg.src_tile, dst_ep=msg.reply_ep, size=size,
                         uid=wire.uid, reply=True)
@@ -294,8 +343,31 @@ class Dtu:
         self._pending[tag] = done
         self.fabric.send(Packet(kind, src=self.tile, dst=dst_tile,
                                 size=size, payload=payload, tag=tag))
+        if self.recovery is not None and kind is PacketKind.MSG:
+            self.sim.process(
+                self._ack_timer(tag, done, payload.uid,
+                                self.recovery.ack_timeout_ps),
+                name=f"dtu{self.tile}-acktimer{tag}")
         result = yield done
         return result
+
+    def _ack_timer(self, tag: int, done, uid: int,
+                   timeout_ps: int) -> Generator:
+        """Recovery: fail a MSG transaction whose ACK never arrived.
+
+        Completing the command with ``TIMEOUT`` makes ``cmd_send`` return
+        the credit and raise, so the mux-level retransmission layer can
+        back off and resend.  A late ACK for the abandoned tag is dropped
+        by :meth:`_handle_packet`.
+        """
+        yield self.sim.timeout(timeout_ps)
+        if self._pending.get(tag) is done:
+            del self._pending[tag]
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(self.sim, "msg_timeout", tile=self.tile, uid=uid)
+            self.stats.counter("dtu/ack_timeouts").add()
+            done.succeed(DtuError.TIMEOUT)
 
     def _await_response(self, req: Packet) -> Generator:
         done = self.sim.event()
@@ -311,6 +383,11 @@ class Dtu:
     def _receive_loop(self) -> Generator:
         while True:
             pkt = yield self._inbox.get()
+            if self._stall_until > self.sim.now:
+                # stuck-tile fault: stop draining the inbox until the
+                # fault clears; the NoC's packet-based flow control
+                # backpressures senders upstream
+                yield self.sim.timeout(self._stall_until - self.sim.now)
             yield from self._handle_packet(pkt)
 
     def _handle_packet(self, pkt: Packet) -> Generator:
@@ -319,8 +396,11 @@ class Dtu:
         elif pkt.kind is PacketKind.ACK:
             if pkt.tag in self._pending:
                 self._pending.pop(pkt.tag).succeed(pkt.payload)
-            else:
+            elif pkt.tag is None:
                 self._handle_credit_return(pkt.payload)
+            # else: a late completion ACK for a transaction the recovery
+            # layer already timed out — the retransmission owns the
+            # outcome now, so the stale confirmation is dropped
         elif pkt.kind in (PacketKind.READ_RESP, PacketKind.WRITE_RESP,
                           PacketKind.EXT_RESP, PacketKind.ERROR):
             done = self._pending.pop(pkt.tag, None)
@@ -337,6 +417,12 @@ class Dtu:
 
     def _handle_msg(self, pkt: Packet) -> Generator:
         wire: WireMsg = pkt.payload
+        if wire.corrupt:
+            # link fault flipped bits in flight; the payload checksum
+            # fails, so the message is NACKed and never reaches software
+            self._trace_bounce(wire, DtuError.PKT_CORRUPT)
+            self._respond(pkt, DtuError.PKT_CORRUPT)
+            return
         ep = self._deliverable_ep(wire.dst_ep)
         if ep is None:
             self._trace_bounce(wire, DtuError.RECV_GONE)
@@ -345,6 +431,18 @@ class Dtu:
         if wire.size > ep.slot_size:
             self._trace_bounce(wire, DtuError.MSG_TOO_LARGE)
             self._respond(pkt, DtuError.MSG_TOO_LARGE)
+            return
+        if wire.chan is not None and ep.is_duplicate(wire.chan, wire.chan_seq):
+            # retransmitted copy of a message this EP already deposited:
+            # confirm success again (the original ACK may have been lost)
+            # but deliver nothing — at-most-once.  Checked before the
+            # credit return below so a duplicate reply cannot mint credits.
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(self.sim, "msg_dedup", tile=self.tile,
+                            ep=wire.dst_ep, uid=wire.uid)
+            self.stats.counter("dtu/msgs_deduped").add()
+            self._respond(pkt, DtuError.NONE)
             return
         if ep.free_slots == 0:
             self._trace_bounce(wire, DtuError.RECV_FULL)
@@ -363,6 +461,8 @@ class Dtu:
         # DMA the payload into the receive buffer in tile memory
         yield self.sim.timeout(self.params.dma_ps(wire.size))
         ep.deposit(msg)
+        if wire.chan is not None:
+            ep.record_seq(wire.chan, wire.chan_seq)
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit(self.sim, "msg_deliver", tile=self.tile,
@@ -418,6 +518,17 @@ class Dtu:
             yield self.sim.timeout(self.params.ext_cmd_ps * len(eps))
             for ep_id, ep in eps.items():
                 self.configure(ep_id, ep)
+        elif req.op is ExtOp.SWAP_EPS:
+            ids = req.args["ep_ids"]
+            yield self.sim.timeout(self.params.ext_cmd_ps * 2 * len(ids))
+            # snapshot and invalidate with no intervening yield: deposits
+            # that raced the save landed before this instant and are in
+            # the snapshot; later arrivals bounce to the slow path
+            result = {i: self.eps[i].snapshot()
+                      if self.eps[i].kind is not EndpointKind.INVALID else Endpoint()
+                      for i in ids}
+            for i in ids:
+                self.configure(i, Endpoint())
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown ext op {req.op}")
         self.fabric.send(pkt.response_to(PacketKind.EXT_RESP, payload=result))

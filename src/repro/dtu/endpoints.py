@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.dtu.message import Message
 
@@ -94,11 +94,25 @@ class ReceiveEndpoint(Endpoint):
     slot_size: int = 512           # max message size it can accept
     buffer: List[Optional[Message]] = field(default_factory=list)
     unread: int = 0
+    # retransmission dedup (repro.faults recovery): highest channel
+    # sequence number ever *deposited*, per sender channel.  Stays empty
+    # unless senders number their messages, so the default path never
+    # pays for it.
+    last_seq: Dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.kind = EndpointKind.RECEIVE
         if not self.buffer:
             self.buffer = [None] * self.slots
+
+    def is_duplicate(self, chan: int, chan_seq: int) -> bool:
+        """Was a message of this channel with seq >= ``chan_seq`` deposited?"""
+        return chan_seq <= self.last_seq.get(chan, -1)
+
+    def record_seq(self, chan: int, chan_seq: int) -> None:
+        """Remember a deposit so retransmitted copies can be dropped."""
+        if chan_seq > self.last_seq.get(chan, -1):
+            self.last_seq[chan] = chan_seq
 
     @property
     def free_slots(self) -> int:
@@ -141,7 +155,8 @@ class ReceiveEndpoint(Endpoint):
     def snapshot(self) -> "ReceiveEndpoint":
         ep = ReceiveEndpoint(act=self.act, slots=self.slots,
                              slot_size=self.slot_size,
-                             buffer=list(self.buffer))
+                             buffer=list(self.buffer),
+                             last_seq=dict(self.last_seq))
         ep.unread = self.unread
         return ep
 

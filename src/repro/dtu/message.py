@@ -28,6 +28,9 @@ class Message:
     read: bool = False
     seq: int = field(default_factory=lambda: next(_seq))
     uid: Optional[int] = None  # WireMsg uid for end-to-end trace identity
+    # recovery: the credit_return_ep the first REPLY attempt put on the
+    # wire, so a retransmitted reply carries the same credit exactly once
+    reply_credit: Optional[int] = None
 
     @property
     def can_reply(self) -> bool:

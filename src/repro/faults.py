@@ -1,0 +1,245 @@
+"""Hardware-fault model: injectors that genuinely break delivery.
+
+Unlike :mod:`repro.testing.faults` (which only perturbs *timing*), the
+injectors here violate the fault-free NoC contract — packets vanish or
+arrive corrupted, endpoints glitch, tiles stop draining their inbox —
+and a platform survives them only if the recovery layer
+(:mod:`repro.mux.recovery`) is armed.  ``HwFaultPlan.apply`` therefore
+refuses to install a lossy injector on a platform without a
+:class:`~repro.mux.recovery.RecoveryPolicy`.
+
+Scoping: faults only hit the *user-message* plane — MSG packets carrying
+a recovery sequence number and the tagged acknowledgements answering
+them, between processing tiles.  Packets to or from the controller and
+memory tiles are never touched: they model a protected control network
+(a dedicated virtual channel with link-level retransmission in real
+interconnects).  Dropping those would not test recovery, it would leak
+kernel credits and wedge DMA — failure modes the paper's systems never
+claim to survive.
+
+All randomness flows through one ``random.Random`` held by the plan, and
+every injector bounds its activity by a deadline in simulated time, so a
+(seed, workload) pair reproduces the same faulty schedule and the event
+heap still drains to quiescence.
+
+Usage::
+
+    plat = build_m3v(...)
+    enable_recovery(plat)
+    plan = HwFaultPlan(seed=7, deadline_ps=2_000_000_000)
+    plan.add(LossyLinks(drop=0.05, corrupt=0.02))
+    plan.add(TransientEpFaults())
+    plan.add(StuckTile())
+    plan.apply(plat)
+    ...  # run the workload to quiescence
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.dtu import DtuError, DtuFault
+from repro.dtu.endpoints import EndpointKind
+from repro.kernel.controller import EP_USER_BASE
+from repro.mux.recovery import RecoveryPolicy, enable_recovery
+from repro.noc.packet import Packet, PacketKind
+
+__all__ = [
+    "HwFaultPlan",
+    "LossyLinks",
+    "TransientEpFaults",
+    "StuckTile",
+    "RecoveryPolicy",
+    "enable_recovery",
+]
+
+DEFAULT_DEADLINE_PS = 5_000_000_000  # 5 ms of simulated time
+
+
+def _emit(sim, kind: str, **fields) -> None:
+    tracer = sim.tracer
+    if tracer is not None:
+        tracer.emit(sim, kind, **fields)
+
+
+def _protected_tiles(platform) -> frozenset:
+    return frozenset({platform.ctrl_tile_id, *platform.mem_tile_ids})
+
+
+def _require_recovery(platform, injector: str) -> None:
+    armed = all(tile.dtu.recovery is not None
+                for tile in platform.proc_tiles())
+    if not armed:
+        raise RuntimeError(
+            f"{injector} breaks message delivery; call "
+            f"enable_recovery(platform) before applying it")
+
+
+class LossyLinks:
+    """Seeded packet loss and corruption on the user-message plane.
+
+    Targets MSG packets that carry a recovery sequence number and the
+    tagged acknowledgements completing a transaction — exactly the
+    traffic the retransmission layer can recover.  Credit-return ACKs
+    (``tag is None``) stay reliable: losing one silently leaks a credit,
+    which no end-to-end protocol can detect, so real designs return
+    credits over the flow-controlled link layer.
+    """
+
+    def __init__(self, drop: float = 0.05, corrupt: float = 0.0):
+        self.drop = drop
+        self.corrupt = corrupt
+
+    def _targetable(self, pkt: Packet, protected: frozenset) -> bool:
+        if pkt.src in protected or pkt.dst in protected:
+            return False
+        if pkt.kind is PacketKind.MSG:
+            return getattr(pkt.payload, "chan", None) is not None
+        if pkt.kind is PacketKind.ACK:
+            return pkt.tag is not None
+        return False
+
+    def apply(self, plan: "HwFaultPlan", platform) -> None:
+        _require_recovery(platform, "LossyLinks")
+        sim, fabric, stats = platform.sim, platform.fabric, platform.stats
+        rng, deadline = plan.rng, plan.deadline_ps
+        protected = _protected_tiles(platform)
+        orig_send = fabric.send
+
+        def _swallowed() -> None:
+            return
+            yield  # pragma: no cover - generator marker
+
+        def lossy_send(packet: Packet):
+            if sim.now < deadline and self._targetable(packet, protected):
+                roll = rng.random()
+                if roll < self.drop:
+                    uid = getattr(packet.payload, "uid", None)
+                    _emit(sim, "pkt_drop", src=packet.src, dst=packet.dst,
+                          pkt=packet.kind.value, uid=uid)
+                    stats.counter("faults/pkts_dropped").add()
+                    return sim.process(_swallowed(),
+                                       name=f"drop-pkt{packet.pid}")
+                if (packet.kind is PacketKind.MSG
+                        and roll < self.drop + self.corrupt):
+                    packet.payload.corrupt = True
+                    _emit(sim, "pkt_corrupt", src=packet.src, dst=packet.dst,
+                          uid=packet.payload.uid)
+                    stats.counter("faults/pkts_corrupted").add()
+            return orig_send(packet)
+
+        fabric.send = lossy_send
+
+
+class TransientEpFaults:
+    """Transient endpoint-register glitches on processing tiles.
+
+    During seeded fault windows, commands touching a *user* endpoint
+    (id >= ``EP_USER_BASE``) fail with ``DtuError.EP_FAULT``; the
+    TileMux/kernel endpoints below the base stay healthy (they are part
+    of the protected control plane).  The library retries through the
+    same backoff machinery as a lost packet.
+    """
+
+    def __init__(self, mean_gap_ps: int = 400_000_000,
+                 window_ps: int = 30_000_000):
+        self.mean_gap_ps = mean_gap_ps
+        self.window_ps = window_ps
+
+    def _windows(self, rng: random.Random,
+                 deadline: int) -> List[Tuple[int, int]]:
+        windows, t = [], 0
+        while True:
+            t += rng.randrange(1, 2 * self.mean_gap_ps)
+            if t >= deadline:
+                return windows
+            windows.append((t, t + self.window_ps))
+
+    def apply(self, plan: "HwFaultPlan", platform) -> None:
+        _require_recovery(platform, "TransientEpFaults")
+        sim, stats = platform.sim, platform.stats
+        for tile in platform.proc_tiles():
+            dtu = tile.dtu
+            windows = self._windows(plan.rng, plan.deadline_ps)
+            if not windows:
+                continue
+            orig = dtu._usable_ep
+
+            def faulty_usable_ep(ep_id: int, kind: EndpointKind,
+                                 _orig=orig, _dtu=dtu, _windows=windows):
+                now = sim.now
+                if (ep_id >= EP_USER_BASE
+                        and any(s <= now < e for s, e in _windows)):
+                    _emit(sim, "ep_fault", tile=_dtu.tile, ep=ep_id)
+                    stats.counter("faults/ep_faults").add()
+                    raise DtuFault(DtuError.EP_FAULT,
+                                   f"transient fault on ep {ep_id}")
+                return _orig(ep_id, kind)
+
+            dtu._usable_ep = faulty_usable_ep
+
+
+class StuckTile:
+    """A tile's DTU stops draining its input queue for a bounded spell.
+
+    Models a hung receive pipeline (clock-domain upset, wedged arbiter):
+    packets queue up at the NoC attachment and deliveries stall under
+    backpressure until the episode ends.  Episodes are bounded, so runs
+    still reach quiescence; senders ride them out via ack timeouts and
+    retransmission, and long episodes surface as watchdog reports.
+    """
+
+    def __init__(self, mean_gap_ps: int = 800_000_000,
+                 stall_ps: int = 60_000_000):
+        self.mean_gap_ps = mean_gap_ps
+        self.stall_ps = stall_ps
+
+    def apply(self, plan: "HwFaultPlan", platform) -> None:
+        _require_recovery(platform, "StuckTile")
+        sim, stats = platform.sim, platform.stats
+        rng, deadline = plan.rng, plan.deadline_ps
+        tiles = platform.proc_tiles()
+
+        def episodes():
+            while sim.now < deadline:
+                yield sim.timeout(rng.randrange(1, 2 * self.mean_gap_ps))
+                if sim.now >= deadline:
+                    return
+                dtu = tiles[rng.randrange(len(tiles))].dtu
+                until = sim.now + rng.randrange(1, self.stall_ps)
+                dtu._stall_until = max(dtu._stall_until, until)
+                _emit(sim, "tile_stuck", tile=dtu.tile,
+                      until=dtu._stall_until)
+                stats.counter("faults/stuck_episodes").add()
+
+        sim.process(episodes(), name="stuck-tile-faults")
+
+
+class HwFaultPlan:
+    """A seeded collection of hardware-fault injectors for one platform."""
+
+    def __init__(self, seed, deadline_ps: int = DEFAULT_DEADLINE_PS,
+                 injectors: Optional[List] = None):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.deadline_ps = deadline_ps
+        self.injectors: List = list(injectors) if injectors else []
+
+    def add(self, injector) -> "HwFaultPlan":
+        self.injectors.append(injector)
+        return self
+
+    def apply(self, platform) -> "HwFaultPlan":
+        for injector in self.injectors:
+            injector.apply(self, platform)
+        return self
+
+    @classmethod
+    def lossy(cls, seed, rate: float,
+              deadline_ps: int = DEFAULT_DEADLINE_PS) -> "HwFaultPlan":
+        """The figR mix: loss + corruption scaled by one ``rate`` knob."""
+        plan = cls(seed, deadline_ps=deadline_ps)
+        if rate > 0:
+            plan.add(LossyLinks(drop=rate, corrupt=rate / 4))
+        return plan

@@ -124,6 +124,13 @@ class Controller:
         self.busy_ps = 0             # total time spent processing (Fig. 9)
         self._proc = None
 
+        # tile health tracking (repro.mux.recovery): fault reports per
+        # tile, and tiles quarantined after repeated reports.  Inert
+        # unless a recovery policy is installed and reports arrive.
+        self.recovery = None
+        self.tile_faults: Dict[int, int] = {}
+        self.quarantined: set = set()
+
     # ------------------------------------------------------------------ boot
 
     def boot(self, memories: List[Tuple[int, int]]) -> None:
@@ -285,7 +292,48 @@ class Controller:
                 if act.exit_event is not None and not act.exit_event.triggered:
                     act.exit_event.succeed(act.exit_code)
                 self.stats.counter("ctrl/exits").add()
+        elif note.kind is TmuxNotify.FAULT:
+            self.report_tile_fault(note.args.get("tile", msg.label),
+                                   note.args.get("reason", "unknown"))
         yield from self.dtu.cmd_ack(EP_NOTIFY, msg)
+
+    # --------------------------------------------------------- tile health
+
+    def report_tile_fault(self, tile_id: int, reason: str = "report") -> None:
+        """Record one fault report; quarantine the tile when they pile up.
+
+        Called from the notify path (TileMux watchdog barks) and directly
+        by fault-detection machinery standing in for a machine-check
+        interrupt.  Quarantine is degraded-mode operation: already-placed
+        activities keep running (faults are transient and bounded), but
+        :meth:`spawn` steers *new* activities to healthy tiles.
+        """
+        count = self.tile_faults.get(tile_id, 0) + 1
+        self.tile_faults[tile_id] = count
+        self.stats.counter("ctrl/fault_reports").add()
+        threshold = (self.recovery.quarantine_faults
+                     if self.recovery is not None else 3)
+        if count == threshold and tile_id not in self.quarantined:
+            self.quarantined.add(tile_id)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(self.sim, "tile_quarantine", tile=tile_id,
+                            faults=count)
+            self.stats.counter("ctrl/quarantines").add()
+
+    def place_tile(self, preferred: int) -> int:
+        """The tile a new activity should land on, honoring quarantine.
+
+        Falls back to the preferred tile when every wired tile is
+        quarantined — running degraded beats refusing to run.
+        """
+        if preferred not in self.quarantined:
+            return preferred
+        for tid in sorted(self._tmux_seps):
+            if tid not in self.quarantined:
+                self.stats.counter("ctrl/migrated_spawns").add()
+                return tid
+        return preferred
 
     def _handle_syscall(self, msg) -> Generator:
         call: SyscallMsg = msg.data
@@ -499,6 +547,7 @@ class Controller:
         heap is demand-paged through that pager; otherwise all pages
         are mapped eagerly (like the voice assistant's scanner, 6.5.1).
         """
+        tile_id = self.place_tile(tile_id)
         act = Activity(name=name, tile_id=tile_id, program=program)
         act.exit_event = self.sim.event()
         self.acts[act.act_id] = act

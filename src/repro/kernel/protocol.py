@@ -84,6 +84,7 @@ class TmuxNotify(enum.Enum):
 
     EXIT = "exit"
     BLOCKED = "blocked"  # M3x: current activity blocked; please schedule
+    FAULT = "fault"      # recovery: watchdog/fault report for health tracking
 
 
 @dataclass

@@ -18,13 +18,19 @@ The library implements the paper's user-level policies:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Dict, Generator, Optional, Tuple
 
 from repro.dtu import DtuError, DtuFault, Perm
+from repro.dtu.errors import RETRYABLE_ERRORS
 from repro.dtu.message import Message
 from repro.kernel.activity import PAGE_SIZE
 from repro.kernel.protocol import RpcMsg, RpcReply, Syscall, SyscallMsg
+
+# process-global channel ids for the recovery layer's sequence numbering;
+# like WireMsg uids they are only compared for identity, never for order
+_chans = itertools.count(1)
 
 
 @dataclass
@@ -52,6 +58,41 @@ class ActivityApi:
         self.sim = mux.sim
         self.costs = mux.costs
         self.clock = mux.costs.clock
+        # recovery-layer state, allocated lazily so the fault-free path
+        # carries no cost: per-endpoint sequence channels + jitter stream
+        self._chans: Dict[Any, Tuple[int, itertools.count]] = {}
+        self._jitter_rng = None
+
+    # ------------------------------------------------- fault recovery plumbing
+
+    @property
+    def recovery(self):
+        """The tile's recovery policy, or None (fault-free operation)."""
+        return getattr(self.mux, "recovery", None)
+
+    def _next_seq(self, key: Any) -> Tuple[int, int]:
+        """The (channel, sequence) pair for the next logical message.
+
+        One channel per (api, endpoint) direction; the pair is allocated
+        once per *logical* message, so every retransmission of it goes
+        out under the same numbers and the receiver can dedup.
+        """
+        if key not in self._chans:
+            self._chans[key] = (next(_chans), itertools.count(1))
+        chan, counter = self._chans[key]
+        return (chan, next(counter))
+
+    def _backoff(self, policy, attempt: int, fault: DtuFault) -> Generator:
+        """Wait out one retransmission backoff; raises when exhausted."""
+        if attempt > policy.max_retries:
+            raise DtuFault(fault.error,
+                           f"gave up after {policy.max_retries} "
+                           f"retransmissions ({fault.detail})")
+        if self._jitter_rng is None:
+            self._jitter_rng = policy.jitter_rng(self.mux.tile_id,
+                                                 self.act.name)
+        self.mux.stats.counter("recovery/retransmits").add()
+        yield self.sim.timeout(policy.backoff_ps(attempt, self._jitter_rng))
 
     # ------------------------------------------------------------- compute
 
@@ -97,10 +138,14 @@ class ActivityApi:
         overhead.  Waiting for credits models the library's spin on the
         send endpoint until the consumer acknowledges older messages."""
         yield from self.compute(self.costs.lib_send)
+        policy = self.recovery
+        seq = None if policy is None else self._next_seq(ep)
+        attempt = 0
         while True:
             try:
                 yield from self.vdtu.cmd_send(ep, data, size,
-                                              reply_ep=reply_ep, virt_addr=virt)
+                                              reply_ep=reply_ep,
+                                              virt_addr=virt, seq=seq)
                 return
             except DtuFault as fault:
                 if fault.error is DtuError.TRANSLATION_FAULT:
@@ -113,12 +158,26 @@ class ActivityApi:
                         yield self.sim.timeout(5_000_000)  # re-poll in 5 us
                     yield from self.compute(self.costs.lib_poll)
                     continue
+                if policy is not None and fault.error in RETRYABLE_ERRORS:
+                    attempt += 1
+                    yield from self._backoff(policy, attempt, fault)
+                    continue
                 raise
 
     def fetch(self, ep: int) -> Generator:
         yield from self.compute(self.costs.lib_fetch)
-        msg = yield from self.vdtu.cmd_fetch(ep)
-        return msg
+        policy = self.recovery
+        attempt = 0
+        while True:
+            try:
+                msg = yield from self.vdtu.cmd_fetch(ep)
+                return msg
+            except DtuFault as fault:
+                if policy is not None and fault.error is DtuError.EP_FAULT:
+                    attempt += 1
+                    yield from self._backoff(policy, attempt, fault)
+                    continue
+                raise
 
     def recv(self, ep: int) -> Generator:
         """Blocking receive (section 3.7).
@@ -152,19 +211,38 @@ class ActivityApi:
     def reply(self, ep: int, msg: Message, data: Any, size: int,
               virt: int = 0) -> Generator:
         yield from self.compute(self.costs.lib_reply)
+        policy = self.recovery
+        seq = None if policy is None else self._next_seq(("reply", ep))
+        attempt = 0
         while True:
             try:
-                yield from self.vdtu.cmd_reply(ep, msg, data, size, virt_addr=virt)
+                yield from self.vdtu.cmd_reply(ep, msg, data, size,
+                                               virt_addr=virt, seq=seq)
                 return
             except DtuFault as fault:
                 if fault.error is DtuError.TRANSLATION_FAULT:
                     yield from self._retry_translation(virt, Perm.R)
                     continue
+                if policy is not None and fault.error in RETRYABLE_ERRORS:
+                    attempt += 1
+                    yield from self._backoff(policy, attempt, fault)
+                    continue
                 raise
 
     def ack(self, ep: int, msg: Message) -> Generator:
         yield from self.compute(self.costs.lib_ack)
-        yield from self.vdtu.cmd_ack(ep, msg)
+        policy = self.recovery
+        attempt = 0
+        while True:
+            try:
+                yield from self.vdtu.cmd_ack(ep, msg)
+                return
+            except DtuFault as fault:
+                if policy is not None and fault.error is DtuError.EP_FAULT:
+                    attempt += 1
+                    yield from self._backoff(policy, attempt, fault)
+                    continue
+                raise
 
     def call(self, send_ep: int, reply_ep: int, data: Any, size: int) -> Generator:
         """RPC: send, await the reply, ack it; returns the reply payload."""

@@ -28,6 +28,7 @@ from typing import Any, Dict, Generator, List, Optional
 
 from repro.dtu import DtuError, DtuFault
 from repro.dtu.dtu import Dtu, ExtOp
+from repro.dtu.errors import RETRYABLE_ERRORS
 from repro.dtu.endpoints import EndpointKind, ReceiveEndpoint
 from repro.dtu.message import Message
 from repro.kernel.activity import ActState, Activity
@@ -55,15 +56,40 @@ class M3xActivityApi(ActivityApi):
     def send(self, ep: int, data: Any, size: int,
              reply_ep: Optional[int] = None, virt: int = 0) -> Generator:
         yield from self.compute(self.costs.lib_send)
-        try:
-            yield from self.vdtu.cmd_send(ep, data, size, reply_ep=reply_ep)
-        except DtuFault as fault:
-            if fault.error is not DtuError.RECV_GONE:
+        policy = self.recovery
+        seq = None if policy is None else self._next_seq(ep)
+        attempt = 0
+        while True:
+            try:
+                yield from self.vdtu.cmd_send(ep, data, size,
+                                              reply_ep=reply_ep, seq=seq)
+                return
+            except DtuFault as fault:
+                if fault.error is DtuError.RECV_GONE:
+                    # the slow path rides the protected control network,
+                    # so it needs no retransmission of its own.  The
+                    # controller dedups against the saved endpoint state,
+                    # so forwarding a retransmission is safe.  A held
+                    # credit (earlier copy's outcome unknown) keeps its
+                    # wire linkage: the forwarded deposit carries our
+                    # send EP, and whoever acks the surviving copy
+                    # returns the credit over the NoC.
+                    held = seq is not None and seq in self.vdtu._credit_held
+                    yield from self._slow_path_send(
+                        ep, data, size, reply_ep, seq,
+                        credit_ep=ep if held else None)
+                    if held:
+                        self.vdtu._credit_held.discard(seq)
+                    return
+                if policy is not None and fault.error in RETRYABLE_ERRORS:
+                    attempt += 1
+                    yield from self._backoff(policy, attempt, fault)
+                    continue
                 raise
-            yield from self._slow_path_send(ep, data, size, reply_ep)
 
     def _slow_path_send(self, ep: int, data: Any, size: int,
-                        reply_ep: Optional[int]) -> Generator:
+                        reply_ep: Optional[int], seq=None,
+                        credit_ep: Optional[int] = None) -> Generator:
         send_ep = self.vdtu.eps[ep]
         yield from self.syscall_forward({
             "dst_tile": send_ep.dst_tile,
@@ -73,27 +99,48 @@ class M3xActivityApi(ActivityApi):
             "size": size,
             "src_tile": self.vdtu.tile,
             "reply_ep": reply_ep,
+            "seq": seq,
+            "src_credit_ep": credit_ep,
         })
         self.mux.stats.counter("m3x/slow_paths").add()
 
     def reply(self, ep: int, msg: Message, data: Any, size: int,
               virt: int = 0) -> Generator:
         yield from self.compute(self.costs.lib_reply)
-        try:
-            yield from self.vdtu.cmd_reply(ep, msg, data, size)
-        except DtuFault as fault:
-            if fault.error is not DtuError.RECV_GONE:
+        policy = self.recovery
+        seq = None if policy is None else self._next_seq(("reply", ep))
+        attempt = 0
+        while True:
+            try:
+                yield from self.vdtu.cmd_reply(ep, msg, data, size, seq=seq)
+                return
+            except DtuFault as fault:
+                if fault.error is DtuError.RECV_GONE:
+                    # bounced reply: forward it, handing the requester's
+                    # send credit along so the controller restores what
+                    # the wire reply would have returned (the kernel
+                    # half of the slow path).  Retransmissions are safe:
+                    # the controller dedups against the saved endpoint
+                    # state and skips the credit on duplicates.
+                    yield from self.syscall_forward({
+                        "dst_tile": msg.src_tile,
+                        "dst_ep": msg.reply_ep,
+                        "label": msg.label,
+                        "data": data,
+                        "size": size,
+                        "src_tile": self.vdtu.tile,
+                        "reply_ep": None,
+                        "is_reply": True,
+                        "credit_ep": msg.reply_credit,
+                        "seq": seq,
+                    })
+                    self.mux.stats.counter("m3x/slow_paths").add()
+                    return
+                if policy is not None and fault.error in RETRYABLE_ERRORS:
+                    attempt += 1
+                    yield from self._backoff(policy, attempt, fault)
+                    continue
                 raise
-            yield from self.syscall_forward({
-                "dst_tile": msg.src_tile,
-                "dst_ep": msg.reply_ep,
-                "label": msg.label,
-                "data": data,
-                "size": size,
-                "src_tile": self.vdtu.tile,
-                "reply_ep": None,
-            })
-            self.mux.stats.counter("m3x/slow_paths").add()
 
     def syscall_forward(self, args: Dict[str, Any]) -> Generator:
         """FORWARD is a raw syscall message (we cannot recurse into
@@ -126,6 +173,7 @@ class M3xMux:
         self.clock = costs.clock
         self.stats = stats if stats is not None else dtu.stats
 
+        self.recovery = None  # RecoveryPolicy once enable_recovery() ran
         self.acts: Dict[int, Activity] = {}
         self.current: Optional[Activity] = None
         self._resume_next: Optional[int] = None
@@ -166,6 +214,28 @@ class M3xMux:
 
     def _charge(self, cycles: int) -> Generator:
         yield self.sim.timeout(self.clock.cycles_to_ps(cycles))
+
+    def _notify_ctrl(self, note: NotifyMsg) -> Generator:
+        """Send a notification, riding out notify-credit exhaustion.
+
+        The notify pool (8 credits) can transiently run dry when
+        activities block in bursts faster than the controller drains;
+        credits always come back (the control network is reliable), so
+        waiting is safe — but only if we keep answering controller
+        requests meanwhile.  The controller may be blocked in a
+        ``tmux_request`` to this very tile while our un-acked notifies
+        hold all the credits; refusing to service it here would
+        deadlock the whole machine."""
+        while True:
+            try:
+                yield from self.vdtu.cmd_send(EP_TMUX_SEP, note,
+                                              NotifyMsg.SIZE)
+                return
+            except DtuFault as fault:
+                if fault.error is not DtuError.MISSING_CREDITS:
+                    raise
+                yield from self._service_ctrl_requests()
+                yield self.sim.timeout(2_000_000)  # re-poll in 2 us
 
     def _emit(self, kind: str, **fields) -> None:
         tracer = self.sim.tracer
@@ -257,11 +327,9 @@ class M3xMux:
             self._emit("act_block", act=ctx.act_id)
             if len(self.acts) > 1:
                 # tell the controller so it can schedule someone else
-                yield from self.vdtu.cmd_send(
-                    EP_TMUX_SEP,
+                yield from self._notify_ctrl(
                     NotifyMsg(TmuxNotify.BLOCKED, {"tile": self.tile_id,
-                                                   "act_id": ctx.act_id}),
-                    NotifyMsg.SIZE)
+                                                   "act_id": ctx.act_id}))
                 self.stats.counter("m3x/block_notifies").add()
             return None, False
         if op == "yield":
@@ -297,10 +365,8 @@ class M3xMux:
         self.acts.pop(ctx.act_id, None)
         if self.current is ctx:
             self.current = None
-        yield from self.vdtu.cmd_send(
-            EP_TMUX_SEP, NotifyMsg(TmuxNotify.EXIT,
-                                   {"act_id": ctx.act_id, "code": code}),
-            NotifyMsg.SIZE)
+        yield from self._notify_ctrl(
+            NotifyMsg(TmuxNotify.EXIT, {"act_id": ctx.act_id, "code": code}))
 
     # ------------------------------------------------------ controller requests
 
@@ -432,13 +498,22 @@ class M3xController(Controller):
                                      {"act_id": act.act_id})
         ep_ids = self._act_eps.get(act.act_id, [])
         if ep_ids:
-            saved = yield from self._ext(tile, ExtOp.READ_EPS,
+            # atomic save-and-invalidate: a separate read + blank write
+            # would lose messages deposited between the two requests
+            saved = yield from self._ext(tile, ExtOp.SWAP_EPS,
                                          {"ep_ids": ep_ids})
             self._snapshots[act.act_id] = saved
-            # invalidate so messages for the saved activity bounce
-            from repro.dtu.endpoints import Endpoint
-            yield from self._ext(tile, ExtOp.WRITE_EPS,
-                                 {"eps": {i: Endpoint() for i in ep_ids}})
+            # a message may have raced in just before the swap: the
+            # saved activity is runnable and must requeue, or the
+            # captured message would never wake anyone
+            if any(ep.kind is EndpointKind.RECEIVE and ep.unread > 0
+                   for ep in saved.values()):
+                if self._blocked(act):
+                    act.state = ActState.READY
+                    self._emit_wake(act, "save_scan")
+                ready = self._tile_ready.setdefault(tile, [])
+                if act.act_id not in ready:
+                    ready.append(act.act_id)
         self._tile_current[tile] = None
 
     def _restore_context(self, act: Activity) -> Generator:
@@ -545,19 +620,15 @@ class M3xController(Controller):
     def _absorb_eps(self, act: Activity) -> Generator:
         """Move an inactive activity's installed endpoints into its
         snapshot (they were just configured on the tile)."""
-        from repro.dtu.endpoints import Endpoint
-
         ep_ids = self._act_eps.get(act.act_id, [])
         if not ep_ids:
             return
-        saved = yield from self._ext(act.tile_id, ExtOp.READ_EPS,
+        saved = yield from self._ext(act.tile_id, ExtOp.SWAP_EPS,
                                      {"ep_ids": ep_ids})
         snapshot = self._snapshots.setdefault(act.act_id, {})
         for ep_id, ep in saved.items():
             if ep.kind is not EndpointKind.INVALID:
                 snapshot[ep_id] = ep
-        yield from self._ext(act.tile_id, ExtOp.WRITE_EPS,
-                             {"eps": {i: Endpoint() for i in ep_ids}})
 
     # --------------------------------------------------------------- slow path
 
@@ -570,14 +641,39 @@ class M3xController(Controller):
             raise SyscallError("forward: unknown destination endpoint")
         act = self.acts[dst]
         snapshot = self._snapshots.get(dst)
+        seq = args.get("seq")
         if snapshot is not None and args["dst_ep"] in snapshot:
             ep = snapshot[args["dst_ep"]]
-            if ep.kind is not EndpointKind.RECEIVE or ep.free_slots == 0:
+            if ep.kind is not EndpointKind.RECEIVE:
                 raise SyscallError("forward: receive buffer unavailable")
-            ep.deposit(Message(label=args["label"], data=args["data"],
-                               size=args["size"], src_tile=args["src_tile"],
-                               reply_ep=args.get("reply_ep"), credit_ep=None,
-                               credited=True))
+            if seq is not None and ep.is_duplicate(*seq):
+                # retransmitted copy of a message the endpoint already
+                # holds (delivered on the wire before the save, or by an
+                # earlier forward): deposit nothing, credit nothing —
+                # the surviving copy owns both
+                self.stats.counter("ctrl/forward_dedups").add()
+            else:
+                if ep.free_slots == 0:
+                    raise SyscallError("forward: receive buffer unavailable")
+                src_credit = args.get("src_credit_ep")
+                ep.deposit(Message(label=args["label"], data=args["data"],
+                                   size=args["size"],
+                                   src_tile=args["src_tile"],
+                                   reply_ep=args.get("reply_ep"),
+                                   credit_ep=src_credit,
+                                   credited=(args.get("is_reply", False)
+                                             or src_credit is None)))
+                if seq is not None:
+                    ep.record_seq(*seq)
+                # a forwarded reply restores the requester's send credit
+                # in the saved state (the wire reply would have returned
+                # it)
+                credit_ep = args.get("credit_ep")
+                if credit_ep is not None and credit_ep in snapshot:
+                    sep = snapshot[credit_ep]
+                    if (sep.kind is EndpointKind.SEND
+                            and sep.credits < sep.max_credits):
+                        sep.return_credit()
         else:
             # recipient is (or became) current: deliver directly on the wire,
             # preserving the original sender's reply path
@@ -598,15 +694,22 @@ class M3xController(Controller):
         from repro.dtu.dtu import WireMsg, _tags
         from repro.noc.packet import Packet, PacketKind
 
+        seq = args.get("seq")
         wire = WireMsg(dst_ep=args["dst_ep"], label=args["label"],
                        data=args["data"], size=args["size"],
                        src_tile=args["src_tile"],
-                       reply_ep=args.get("reply_ep"), credit_ep=None)
+                       reply_ep=args.get("reply_ep"),
+                       credit_ep=args.get("src_credit_ep"),
+                       is_reply=args.get("is_reply", False),
+                       credit_return_ep=args.get("credit_ep"),
+                       chan=None if seq is None else seq[0],
+                       chan_seq=None if seq is None else seq[1])
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit(self.sim, "msg_send", tile=args["src_tile"], ep=-1,
                         dst_tile=args["dst_tile"], dst_ep=args["dst_ep"],
-                        size=args["size"], uid=wire.uid, reply=False)
+                        size=args["size"], uid=wire.uid,
+                        reply=wire.is_reply)
         tag = next(_tags)
         done = self.sim.event()
         self.dtu._pending[tag] = done

@@ -1,0 +1,80 @@
+"""The recovery policy: what the software stack does about hardware faults.
+
+A :class:`RecoveryPolicy` is shared configuration for every layer that
+participates in fault tolerance:
+
+* the DTU arms an **ack timeout** on every SEND/REPLY transaction, so a
+  lost packet (or lost acknowledgement) completes the command with
+  ``DtuError.TIMEOUT`` instead of hanging the core forever;
+* the mux-level send helpers (:mod:`repro.mux.api`) retransmit timed-out
+  or corrupted messages with **bounded retries, exponential backoff and
+  seeded jitter**, numbering each logical message so the receiving DTU
+  can drop duplicates (at-most-once delivery);
+* TileMux runs a **watchdog**: an activity that burns ``watchdog_slices``
+  full timeslices without ever blocking or yielding is reported to the
+  controller;
+* the controller tracks per-tile fault reports and **quarantines** a
+  tile after ``quarantine_faults`` of them, steering new activity
+  placements away from it (degraded mode instead of a deadlocked run).
+
+Everything defaults to *off*: a platform without a policy installed
+behaves — trace-byte for trace-byte — like the plain fault-free model.
+Install one with :func:`enable_recovery`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs of the fault-recovery protocol (see module docstring)."""
+
+    ack_timeout_ps: int = 40_000_000     # 40 us >> any uncontended RTT
+    max_retries: int = 6                 # retransmissions per logical message
+    backoff_base_ps: int = 2_000_000     # first backoff: 2 us
+    backoff_factor: float = 2.0          # exponential growth per attempt
+    backoff_cap_ps: int = 50_000_000     # ceiling on the exponential part
+    jitter_ps: int = 1_000_000           # uniform [0, jitter) added per wait
+    watchdog_slices: int = 4             # TileMux: consecutive full slices
+    quarantine_faults: int = 3           # controller: reports before quarantine
+    seed: int = 0                        # namespaces the jitter streams
+
+    def backoff_ps(self, attempt: int, rng: random.Random) -> int:
+        """Backoff before retransmission ``attempt`` (1-based)."""
+        base = self.backoff_base_ps * self.backoff_factor ** (attempt - 1)
+        jitter = rng.randrange(self.jitter_ps) if self.jitter_ps > 0 else 0
+        return min(int(base), self.backoff_cap_ps) + jitter
+
+    def jitter_rng(self, tile_id: int, name: str) -> random.Random:
+        """A deterministic per-actor jitter stream.
+
+        Seeded from a string so the stream is identical across
+        interpreters and hash seeds (``random.Random(str)`` hashes the
+        bytes deterministically), and independent of any process-global
+        id counters — a point re-run in a fresh worker process draws the
+        same jitter as a serial run.
+        """
+        return random.Random(f"recovery:{self.seed}:{tile_id}:{name}")
+
+
+def enable_recovery(platform, policy: RecoveryPolicy = None) -> RecoveryPolicy:
+    """Install ``policy`` on every processing tile of ``platform``.
+
+    Arms the per-DTU ack timers, the mux-level retransmission layer, the
+    TileMux watchdog, and the controller's tile-health tracking.  The
+    controller and memory tiles keep their plain DTUs: the kernel and
+    DMA channels model a protected control network (a dedicated virtual
+    channel in real interconnects), which is also why the fault injectors
+    in :mod:`repro.faults` never target them.
+    """
+    if policy is None:
+        policy = RecoveryPolicy()
+    for tile in platform.proc_tiles():
+        tile.dtu.recovery = policy
+        if tile.mux is not None:
+            tile.mux.recovery = policy
+    platform.controller.recovery = policy
+    return policy

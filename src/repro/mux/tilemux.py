@@ -25,7 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Dict, Generator, Optional
 
-from repro.dtu import ACT_INVALID, ACT_TILEMUX, VDtu
+from repro.dtu import ACT_INVALID, ACT_TILEMUX, DtuFault, VDtu
 from repro.dtu.endpoints import Perm
 from repro.kernel.activity import ActState, Activity, PageFault, PAGE_SIZE
 from repro.kernel.protocol import (
@@ -81,6 +81,9 @@ class TileMux:
         self._poll_waiters: list = []
         self._wake: Event = sim.event()
         self.idle_ps = 0
+        # fault-recovery policy (repro.mux.recovery); None = watchdog off
+        # and no mux-level retransmission — the fault-free default
+        self.recovery = None
         vdtu.irq_handler = self._on_irq
         self._proc = sim.process(self._main_loop(), name=f"tilemux{tile_id}")
 
@@ -205,6 +208,8 @@ class TileMux:
                 self.ready.append(ctx)
                 self._emit("preempt", act=ctx.act_id)
                 self.stats.counter("tilemux/preemptions").add()
+                if self.recovery is not None:
+                    yield from self._watchdog_tick(ctx)
                 break
             try:
                 item = ctx.gen.send(inject_val)
@@ -227,10 +232,37 @@ class TileMux:
         # time "for implementation-specific reasons", section 6.5.2).
         ctx.user_ps += self.sim.now - run_start
 
+    # ----------------------------------------------------------------- watchdog
+
+    def _watchdog_tick(self, ctx: Activity) -> Generator:
+        """Count whole timeslices an activity burned without trapping.
+
+        Any TMCall proves the activity still makes scheduling progress
+        and resets the count; ``watchdog_slices`` consecutive full slices
+        mean it is likely wedged on a faulty resource, so TileMux reports
+        the tile to the controller (best effort: if the notify channel is
+        out of credits the report is dropped, not the schedule).
+        """
+        ctx.wd_slices = getattr(ctx, "wd_slices", 0) + 1
+        if ctx.wd_slices != self.recovery.watchdog_slices:
+            return
+        self._emit("watchdog", act=ctx.act_id, slices=ctx.wd_slices)
+        self.stats.counter("tilemux/watchdog_barks").add()
+        try:
+            yield from self._send_as_tilemux(
+                EP_TMUX_SEP,
+                NotifyMsg(TmuxNotify.FAULT,
+                          {"tile": self.tile_id, "act_id": ctx.act_id,
+                           "reason": "watchdog"}),
+                NotifyMsg.SIZE)
+        except DtuFault:
+            self.stats.counter("tilemux/watchdog_notify_dropped").add()
+
     # ----------------------------------------------------------------- TMCalls
 
     def _tmcall(self, ctx: Activity, call: TmCall) -> Generator:
         """Returns (resume_value, keep_running)."""
+        ctx.wd_slices = 0  # trapping at all counts as forward progress
         yield from self._charge(self.costs.trap_enter + self.costs.tmcall_dispatch)
         op = call.op
         if op == "block":

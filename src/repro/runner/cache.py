@@ -26,6 +26,7 @@ import hashlib
 import json
 import math
 import os
+import sys
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional
 
@@ -116,20 +117,38 @@ class ResultCache:
         self.refresh = refresh
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The entry for ``key``, or None (a miss).
+
+        A missing file is a plain miss.  A file that exists but cannot
+        be parsed — truncated by a crash or a full disk, garbled by
+        manual editing — is *also* a miss, with a warning on stderr: the
+        point silently re-simulates instead of aborting the sweep, and
+        the eventual ``put`` overwrites the bad entry.  An entry missing
+        the ``value`` field counts as corrupt too (schema guard)."""
         if not self.refresh:
+            path = self._path(key)
             try:
-                with open(self._path(key)) as fh:
+                with open(path) as fh:
                     entry = json.load(fh)
-            except (OSError, json.JSONDecodeError):
+            except FileNotFoundError:
                 pass
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+                self.corrupt += 1
+                print(f"warning: unreadable cache entry {path}: {exc}; "
+                      f"re-simulating", file=sys.stderr)
             else:
-                self.hits += 1
-                return entry
+                if isinstance(entry, dict) and "value" in entry:
+                    self.hits += 1
+                    return entry
+                self.corrupt += 1
+                print(f"warning: malformed cache entry {path} (no 'value' "
+                      f"field); re-simulating", file=sys.stderr)
         self.misses += 1
         return None
 

@@ -93,10 +93,19 @@ def _load_builtin() -> None:
          exps.reduce_fig10),
         ("voice", exps.VoiceParams, exps.voice_points, exps.run_voice_point,
          exps.reduce_voice),
+        ("figR", exps.FigRParams, exps.figr_points, exps.run_figr_point,
+         exps.reduce_figr),
     ]
     for name, params_cls, points, point_fn, reduce in builtin:
         if name in SWEEPS:       # a test replaced it before first load
             continue
+        paths = default_fingerprint_paths(point_fn)
+        if name == "figR":
+            # figR numbers also depend on the injectors + recovery layer
+            from repro import faults
+            from repro.mux import recovery
+
+            paths = paths + (faults.__file__, recovery.__file__)
         register(Sweep(name=name, points=points, point_fn=point_fn,
                        reduce=reduce, params_cls=params_cls,
-                       fingerprint_paths=default_fingerprint_paths(point_fn)))
+                       fingerprint_paths=paths))

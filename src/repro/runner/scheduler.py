@@ -44,7 +44,12 @@ __all__ = ["PointOutcome", "Runner", "run_point"]
 
 @dataclass
 class PointOutcome:
-    """One executed (or cache-served) point, in submission order."""
+    """One executed (or cache-served) point, in submission order.
+
+    ``error`` is None for a successful point; for a point that raised
+    (twice — every failure is retried once with its original seed) it
+    holds the formatted exception, ``value`` is None, and nothing was
+    cached, so a later run re-attempts exactly that point."""
 
     spec: PointSpec
     value: Any
@@ -52,6 +57,11 @@ class PointOutcome:
     elapsed_s: float
     key: Optional[str] = None
     trace_digest: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 def run_point(spec: PointSpec, with_trace: bool = False
@@ -88,8 +98,12 @@ class Runner:
 
     ``jobs=1`` runs everything in-process (the serial path).  Counters:
     ``simulated`` points actually executed, ``served`` points answered
-    from cache; ``cache_hits``/``cache_misses`` mirror the attached
-    cache's counters.
+    from cache, ``failed`` points that raised twice (their outcomes
+    carry ``error`` and are listed in ``failures``);
+    ``cache_hits``/``cache_misses`` mirror the attached cache's
+    counters.  A failing point never aborts the sweep: its siblings
+    run (and cache) normally and the reducer sees ``None`` in its
+    position.
     """
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
@@ -102,6 +116,8 @@ class Runner:
         self.stream = stream if stream is not None else sys.stderr
         self.simulated = 0
         self.served = 0
+        self.failed = 0
+        self.failures: List[PointOutcome] = []
         self._fingerprints: Dict[str, str] = {}
 
     # -- cache plumbing -------------------------------------------------------
@@ -180,18 +196,57 @@ class Runner:
                                     len(specs) - len(pending), wall, eta),
                       file=self.stream, flush=True)
 
+        def fail(pos: int, spec: PointSpec, key: Optional[str],
+                 exc: BaseException) -> None:
+            nonlocal done
+            error = f"{type(exc).__name__}: {exc}"
+            outcome = PointOutcome(spec, None, False, 0.0, key, None,
+                                   error=error)
+            outcomes[pos] = outcome
+            self.failed += 1
+            self.failures.append(outcome)
+            done += 1
+            print(f"warning: point {spec.sweep}[{spec.index}] failed after "
+                  f"retry: {error}", file=self.stream, flush=True)
+
+        def retry_then_fail(pos: int, spec: PointSpec,
+                            key: Optional[str]) -> None:
+            """One in-process retry with the point's original seed
+            (deterministic: a genuine crash crashes again; a killed
+            worker or transient host issue gets a second chance)."""
+            try:
+                value, trace_digest, elapsed = run_point(spec, self.trace)
+            except Exception as exc:
+                fail(pos, spec, key, exc)
+            else:
+                finish(pos, spec, key, value, trace_digest, elapsed)
+
         if pending and self.jobs == 1:
             for pos, spec, key in pending:
-                value, trace_digest, elapsed = run_point(spec, self.trace)
-                finish(pos, spec, key, value, trace_digest, elapsed)
+                try:
+                    value, trace_digest, elapsed = run_point(spec, self.trace)
+                except Exception:
+                    retry_then_fail(pos, spec, key)
+                else:
+                    finish(pos, spec, key, value, trace_digest, elapsed)
         elif pending:
+            # futures that raise — a crashing point, or every sibling of
+            # a worker the OS killed (BrokenProcessPool) — are retried
+            # in-process after the pool winds down
+            to_retry: List[Tuple[int, PointSpec, Optional[str]]] = []
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 futures = {
                     pool.submit(_pool_run, (spec, self.trace)): (pos, spec, key)
                     for pos, spec, key in pending}
                 for future in as_completed(futures):
                     pos, spec, key = futures[future]
-                    value, trace_digest, elapsed = future.result()
-                    finish(pos, spec, key, value, trace_digest, elapsed)
+                    try:
+                        value, trace_digest, elapsed = future.result()
+                    except Exception:
+                        to_retry.append((pos, spec, key))
+                    else:
+                        finish(pos, spec, key, value, trace_digest, elapsed)
+            for pos, spec, key in to_retry:
+                retry_then_fail(pos, spec, key)
 
         return outcomes  # type: ignore[return-value]

@@ -54,10 +54,13 @@ class Histogram:
     @property
     def mean(self) -> float:
         """Arithmetic mean; NaN when no samples were recorded (renderers
-        show it as an em-dash instead of crashing a whole report)."""
+        show it as an em-dash instead of crashing a whole report).
+        Clamped to [min, max]: float summation can land one ulp outside
+        the sample range (e.g. three identical samples)."""
         if not self.samples:
             return float("nan")
-        return sum(self.samples) / len(self.samples)
+        raw = sum(self.samples) / len(self.samples)
+        return min(max(raw, self.min), self.max)
 
     @property
     def stdev(self) -> float:

@@ -46,6 +46,19 @@ kind                 fields
 ``preempt``          ``tile, act`` — time-slice preemption
 ``tlb_fill``         ``tile, act, vpage, ppage``
 ``tlb_evict``        ``tile, act, vpage``
+``pkt_drop``         ``src, dst, pkt, uid`` — fault injector swallowed a
+                     packet (``uid`` is None for acknowledgements)
+``pkt_corrupt``      ``src, dst, uid`` — payload corrupted on a link; the
+                     receiver bounces it with ``PKT_CORRUPT``
+``msg_dedup``        ``tile, ep, uid`` — retransmitted duplicate dropped
+                     by the receive endpoint's sequence store
+``msg_timeout``      ``tile, uid`` — no acknowledgement within the
+                     recovery policy's ack-timeout window
+``ep_fault``         ``tile, ep`` — transient endpoint glitch injected
+``tile_stuck``       ``tile, until`` — tile stops draining its inbox
+``watchdog``         ``tile, act, slices`` — TileMux watchdog reported a
+                     stuck activity to the controller
+``tile_quarantine``  ``tile, faults`` — controller quarantined a tile
 ===================  ======================================================
 
 ``uid``, ``pid`` and activity-id values (``act``, ``owner``,

@@ -11,7 +11,8 @@ system never emits make the corresponding checks vacuously true
 The five properties (ISSUE: sections 3.5, 3.7, 3.8 of the paper):
 
 * :class:`MessageConservation` — no message is lost or duplicated
-  end-to-end: every ``msg_send`` uid is delivered or bounced exactly
+  end-to-end: every ``msg_send`` uid is delivered, bounced, dropped by
+  a fault injector, or discarded as a retransmit duplicate exactly
   once, and only delivered messages are fetched.
 * :class:`CurActConsistency` — the unread count in ``CUR_ACT`` always
   equals deposited-minus-fetched: the register value read back by the
@@ -84,6 +85,8 @@ class MessageConservation(Invariant):
         self.sent: Set[int] = set()
         self.delivered: Set[int] = set()
         self.bounced: Set[int] = set()
+        self.dropped: Set[int] = set()   # swallowed by a fault injector
+        self.deduped: Set[int] = set()   # retransmit duplicate, discarded
 
     def on_event(self, ev: TraceEvent) -> None:
         kind = ev.kind
@@ -116,9 +119,26 @@ class MessageConservation(Invariant):
                 return  # deposited out-of-band (M3x snapshot slow path)
             if uid not in self.delivered:
                 self.fail(f"uid {uid} fetched but never delivered", ev)
+        elif kind == "pkt_drop":
+            uid = ev.get("uid")
+            if uid is None:
+                return  # a dropped acknowledgement, not a message
+            if uid in self.delivered:
+                self.fail(f"uid {uid} dropped after delivery", ev)
+            if uid in self.dropped:
+                self.fail(f"uid {uid} dropped twice", ev)
+            self.dropped.add(uid)
+        elif kind == "msg_dedup":
+            uid = ev.get("uid")
+            if uid not in self.sent:
+                self.fail(f"uid {uid} deduplicated but never sent", ev)
+            if uid in self.delivered:
+                self.fail(f"uid {uid} both delivered and deduplicated", ev)
+            self.deduped.add(uid)
 
     def finish(self) -> None:
-        lost = self.sent - self.delivered - self.bounced
+        lost = (self.sent - self.delivered - self.bounced
+                - self.dropped - self.deduped)
         if lost:
             sample = sorted(lost)[:5]
             self.fail(f"{len(lost)} message(s) lost in flight "
