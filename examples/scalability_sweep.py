@@ -12,7 +12,6 @@ suite runs the full trace with REPRO_PAPER_SCALE=1)
 """
 
 from repro.core.exps.fig9 import Fig9Params, _throughput
-from repro.core.platform import build_m3v, build_m3x
 
 
 def main() -> None:
@@ -22,8 +21,8 @@ def main() -> None:
     print(f"{'tiles':>6s} {'M3x':>9s} {'M3v':>9s} {'M3v/M3x':>8s}")
     m3v_1 = None
     for n in tiles:
-        m3v = _throughput(build_m3v, n, params)
-        m3x = _throughput(build_m3x, n, params)
+        m3v = _throughput("m3v", n, params)
+        m3x = _throughput("m3x", n, params)
         if m3v_1 is None:
             m3v_1 = m3v
         print(f"{n:6d} {m3x:9.0f} {m3v:9.0f} {m3v / m3x:7.1f}x")

@@ -88,6 +88,12 @@ def parse_args(argv=None):
     parser.add_argument("--expect-cached", action="store_true",
                         help="exit non-zero if any point had to simulate "
                              "(CI warm-cache check)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="meter every point; snapshots are stored as "
+                             "cache sidecar artifacts")
+    parser.add_argument("--profile", action="store_true",
+                        help="self-profile the simulator; the summary "
+                             "gains a per-subsystem wall-clock table")
     return parser.parse_args(argv)
 
 
@@ -96,7 +102,8 @@ def main(argv=None) -> int:
     only = set(args.only) if args.only else None
     cache = None if args.no_cache else ResultCache(root=args.cache_dir,
                                                    refresh=args.refresh_cache)
-    runner = Runner(jobs=args.jobs, cache=cache, progress=True)
+    runner = Runner(jobs=args.jobs, cache=cache, progress=True,
+                    metrics=args.metrics, profile=args.profile)
 
     results = {}
     t0 = time.time()

@@ -1,0 +1,30 @@
+"""The system-construction facade.
+
+>>> from repro.api import SystemConfig, MetricsSpec, build_system
+>>> system = build_system(SystemConfig(kind="m3v", n_proc_tiles=2,
+...                                    metrics=MetricsSpec(spans=True)))
+>>> system.controller          # delegates to the underlying platform
+>>> system.metrics             # the attached MetricsRegistry
+
+Legacy entry points (``build_m3v``/``build_m3``/``build_m3x``) remain
+as deprecated shims over :func:`build_system`.
+"""
+
+from repro.api.config import (
+    FaultSpec,
+    MetricsSpec,
+    SYSTEM_KINDS,
+    SystemConfig,
+    TraceSpec,
+)
+from repro.api.system import System, build_system
+
+__all__ = [
+    "FaultSpec",
+    "MetricsSpec",
+    "SYSTEM_KINDS",
+    "System",
+    "SystemConfig",
+    "TraceSpec",
+    "build_system",
+]

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, Generator
 
-from repro.core.platform import M3vPlatform, PlatformConfig, build_m3v
+from repro.api import System, SystemConfig, build_system
+from repro.core.platform import M3vPlatform, PlatformConfig
 from repro.tiles.costs import BOOM, ROCKET
 
 
@@ -17,6 +18,26 @@ def fpga_config(**overrides) -> PlatformConfig:
         from dataclasses import replace
         config = replace(config, **overrides)
     return config
+
+
+def fpga_sysconfig(kind: str = "m3v", **overrides) -> SystemConfig:
+    """The FPGA prototype shape as a facade :class:`SystemConfig`."""
+    config = SystemConfig(kind=kind, n_proc_tiles=8, proc_core=BOOM,
+                          controller_core=ROCKET, n_mem_tiles=2)
+    if overrides:
+        from dataclasses import replace
+        config = replace(config, **overrides)
+    return config
+
+
+def fpga_system(kind: str = "m3v", **overrides) -> System:
+    """Build an FPGA-shaped system through :func:`repro.api.build_system`."""
+    return build_system(fpga_sysconfig(kind, **overrides))
+
+
+def linux_system(**overrides) -> System:
+    """Build the Linux reference machine through the facade."""
+    return build_system(SystemConfig(kind="linux", **overrides))
 
 
 def rendezvous(api, env: Dict, *keys) -> Generator:

@@ -14,9 +14,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.lsm import LsmStore
-from repro.core.exps.common import fpga_config
-from repro.core.platform import build_m3v
-from repro.linuxsim import LinuxMachine
+from repro.core.exps.common import fpga_system, linux_system
 from repro.posix.vfs import LinuxVfs, M3vVfs
 from repro.services.boot import (
     boot_m3fs,
@@ -64,7 +62,7 @@ class Fig10Params:
 
 
 def _run_m3v(mix: str, shared: bool, p: Fig10Params) -> Dict[str, float]:
-    plat = build_m3v(fpga_config())
+    plat = fpga_system()
     if shared:
         db_tile = fs_tile = net_tile = pager_tile = 1
     else:
@@ -122,7 +120,7 @@ def _run_m3v(mix: str, shared: bool, p: Fig10Params) -> Dict[str, float]:
 
 
 def _run_linux(mix: str, p: Fig10Params) -> Dict[str, float]:
-    machine = LinuxMachine(with_net=True)
+    machine = linux_system(with_net=True)
     out: Dict = {}
 
     def prog(api):

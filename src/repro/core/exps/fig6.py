@@ -10,9 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.core.exps.common import fpga_config, rendezvous
-from repro.core.platform import build_m3v
-from repro.linuxsim import LinuxMachine
+from repro.core.exps.common import fpga_system, linux_system, rendezvous
 from repro.tiles.costs import BOOM
 
 
@@ -24,7 +22,7 @@ class Fig6Params:
 
 def _measure_m3v_rpc(local: bool, p: Fig6Params) -> float:
     """Mean no-op RPC latency in ps."""
-    plat = build_m3v(fpga_config())
+    plat = fpga_system()
     env: Dict = {}
     out: Dict = {}
 
@@ -57,7 +55,7 @@ def _measure_m3v_rpc(local: bool, p: Fig6Params) -> float:
 
 
 def _measure_linux_syscall(p: Fig6Params) -> float:
-    machine = LinuxMachine()
+    machine = linux_system()
     out: Dict = {}
 
     def prog(api):
@@ -75,7 +73,7 @@ def _measure_linux_syscall(p: Fig6Params) -> float:
 
 def _measure_linux_yield2(p: Fig6Params) -> float:
     """Two context switches: ping yields to pong, pong yields back."""
-    machine = LinuxMachine()
+    machine = linux_system()
     out: Dict = {}
     n = p.iterations
 

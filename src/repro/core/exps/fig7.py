@@ -10,9 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.core.exps.common import fpga_config
-from repro.core.platform import build_m3v
-from repro.linuxsim import LinuxMachine
+from repro.core.exps.common import fpga_system, linux_system
 from repro.linuxsim.machine import O_CREAT as L_O_CREAT
 from repro.linuxsim.machine import O_TRUNC as L_O_TRUNC
 from repro.linuxsim.machine import O_WRONLY as L_O_WRONLY
@@ -34,7 +32,7 @@ def _mib_per_s(total_bytes: int, ps: int) -> float:
 
 
 def _run_m3v(op: str, shared: bool, p: Fig7Params) -> float:
-    plat = build_m3v(fpga_config())
+    plat = fpga_system()
     fs_tile = 1
     bench_tile = 1 if shared else 2
     pager_tile = 1 if shared else 3
@@ -88,7 +86,7 @@ def _run_m3v(op: str, shared: bool, p: Fig7Params) -> float:
 
 
 def _run_linux(op: str, p: Fig7Params) -> float:
-    machine = LinuxMachine()
+    machine = linux_system()
     out: Dict = {}
 
     def prog(api):

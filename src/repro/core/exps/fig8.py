@@ -10,9 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.core.exps.common import fpga_config
-from repro.core.platform import build_m3v
-from repro.linuxsim import LinuxMachine
+from repro.core.exps.common import fpga_system, linux_system
 from repro.services.boot import boot_net, boot_pager, connect_net
 from repro.services.net import NetClient
 
@@ -28,7 +26,7 @@ class Fig8Params:
 
 def _run_m3v(shared: bool, p: Fig8Params) -> float:
     """Mean RTT in microseconds."""
-    plat = build_m3v(fpga_config())
+    plat = fpga_system()
     nic_tile = 1                       # net is pinned to the NIC tile
     bench_tile = 1 if shared else 2
     pager_tile = 1 if shared else 3
@@ -62,7 +60,7 @@ def _run_m3v(shared: bool, p: Fig8Params) -> float:
 
 
 def _run_linux(p: Fig8Params) -> float:
-    machine = LinuxMachine(with_net=True)
+    machine = linux_system(with_net=True)
     machine.remote.echo_ports.add(ECHO_PORT)
     out: Dict = {}
 

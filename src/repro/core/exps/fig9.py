@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.api import SystemConfig, build_system
 from repro.apps.traceplayer import TracePlayer
-from repro.core.platform import PlatformConfig, build_m3v, build_m3x
+from repro.core.platform import PlatformConfig
 from repro.posix.vfs import M3vVfs
 from repro.services.boot import boot_m3fs, connect_fs
 from repro.services.m3fs import FsClient
@@ -45,6 +46,12 @@ def gem5_config(n_tiles: int) -> PlatformConfig:
                           controller_core=X86_GEM5, n_mem_tiles=2)
 
 
+def gem5_sysconfig(system: str, n_tiles: int) -> SystemConfig:
+    return SystemConfig(kind=system, n_proc_tiles=n_tiles,
+                        proc_core=X86_GEM5, controller_core=X86_GEM5,
+                        n_mem_tiles=2)
+
+
 def _populate(fs, p: Fig9Params) -> None:
     if p.trace == "find":
         dirs, files = find_tree_spec(p.find_dirs, p.find_files)
@@ -54,9 +61,9 @@ def _populate(fs, p: Fig9Params) -> None:
             fs.image.create(f)
 
 
-def _throughput(build, n_tiles: int, p: Fig9Params) -> float:
+def _throughput(system: str, n_tiles: int, p: Fig9Params) -> float:
     """Aggregate runs/s over ``n_tiles`` tiles."""
-    plat = build(gem5_config(n_tiles))
+    plat = build_system(gem5_sysconfig(system, n_tiles))
     trace = p.make_trace()
     results: Dict[int, Dict[str, int]] = {}
     players = []
@@ -99,9 +106,6 @@ def _throughput(build, n_tiles: int, p: Fig9Params) -> float:
 
 # -- sweep decomposition (repro.runner) ---------------------------------------
 
-_BUILDERS = {"m3v": build_m3v, "m3x": build_m3x}
-
-
 @dataclass(frozen=True)
 class Fig9Point:
     system: str                # "m3v" | "m3x"
@@ -126,7 +130,7 @@ def run_fig9_point(pt: Fig9Point) -> float:
     p = Fig9Params(tile_counts=[pt.n_tiles], trace=pt.trace, runs=pt.runs,
                    find_dirs=pt.find_dirs, find_files=pt.find_files,
                    sqlite_txns=pt.sqlite_txns, fs_blocks=pt.fs_blocks)
-    return _throughput(_BUILDERS[pt.system], pt.n_tiles, p)
+    return _throughput(pt.system, pt.n_tiles, p)
 
 
 def reduce_fig9(params: Fig9Params,

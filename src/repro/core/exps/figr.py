@@ -26,14 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.core.exps.common import fpga_config, rendezvous
-from repro.core.platform import build_m3v, build_m3x
+from repro.api import FaultSpec, build_system
+from repro.core.exps.common import fpga_sysconfig, rendezvous
 from repro.dtu import DtuFault
-from repro.faults import HwFaultPlan, RecoveryPolicy, enable_recovery
+from repro.faults import RecoveryPolicy
 from repro.sim.trace import Tracer
 from repro.testing.invariants import InvariantSuite
-
-_BUILDERS = {"m3v": build_m3v, "m3x": build_m3x}
 
 SIM_LIMIT_PS = 10**13  # 10 s of simulated time; a stuck point fails loudly
 
@@ -59,7 +57,14 @@ def _percentile(sorted_vals: List[int], q: float) -> float:
 
 
 def _run_workload(system: str, rate: float, p: FigRParams) -> Dict[str, float]:
-    plat = _BUILDERS[system](fpga_config(n_proc_tiles=2))
+    config = fpga_sysconfig(system, n_proc_tiles=2)
+    if rate > 0:
+        config = config.with_(
+            recovery=RecoveryPolicy(max_retries=p.max_retries,
+                                    seed=p.fault_seed),
+            faults=FaultSpec(seed=f"figR:{system}:{rate}:{p.fault_seed}",
+                             rate=rate))
+    plat = build_system(config)
 
     # invariant checkers ride along on every point; reuse an installed
     # tracer (e.g. `repro trace`) or attach a record-free one
@@ -67,12 +72,6 @@ def _run_workload(system: str, rate: float, p: FigRParams) -> Dict[str, float]:
     if tracer is None:
         tracer = Tracer(record=False).attach(plat.sim)
     suite = InvariantSuite().attach(tracer)
-
-    if rate > 0:
-        policy = RecoveryPolicy(max_retries=p.max_retries, seed=p.fault_seed)
-        enable_recovery(plat, policy)
-        HwFaultPlan.lossy(f"figR:{system}:{rate}:{p.fault_seed}",
-                          rate).apply(plat)
 
     env: Dict = {}
     outs: List[Dict] = [{} for _ in range(p.pairs)]

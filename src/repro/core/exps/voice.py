@@ -18,8 +18,7 @@ from repro.apps.voice import (
     compressor_program,
     scanner_program,
 )
-from repro.core.exps.common import fpga_config
-from repro.core.platform import build_m3v
+from repro.core.exps.common import fpga_system
 from repro.dtu.endpoints import Perm
 from repro.kernel.caps import CapKind, MGateObj
 from repro.services.boot import boot_net, boot_pager, connect_net
@@ -34,8 +33,7 @@ class VoiceParams:
 
 
 def run_voice_once(shared: bool, p: VoiceParams) -> Dict[str, float]:
-    config = fpga_config(core_overrides={0: ROCKET})
-    plat = build_m3v(config)
+    plat = fpga_system(core_overrides={0: ROCKET})
     if shared:
         comp_tile = net_tile = pager_tile = 1
     else:

@@ -135,12 +135,25 @@ class M3vPlatform:
         return self.sim.now / 1e6
 
 
-def build_m3v(config: Optional[PlatformConfig] = None, **overrides) -> M3vPlatform:
-    """Build an M3v platform; keyword overrides patch the config."""
+def _deprecated_build(kind: str, config: Optional[PlatformConfig],
+                      overrides: dict):
+    import warnings
+
+    warnings.warn(
+        f"build_{kind}() is deprecated; use "
+        f"repro.api.build_system(SystemConfig(kind={kind!r}, ...))",
+        DeprecationWarning, stacklevel=3)
+    from repro.api import SystemConfig, build_system
+
     config = config or PlatformConfig()
     if overrides:
         config = replace(config, **overrides)
-    return M3vPlatform(config)
+    return build_system(SystemConfig.from_platform(kind, config)).platform
+
+
+def build_m3v(config: Optional[PlatformConfig] = None, **overrides) -> M3vPlatform:
+    """Deprecated: use :func:`repro.api.build_system`."""
+    return _deprecated_build("m3v", config, overrides)
 
 
 class M3Platform(M3vPlatform):
@@ -170,11 +183,8 @@ class M3Platform(M3vPlatform):
 
 
 def build_m3(config: Optional[PlatformConfig] = None, **overrides) -> M3Platform:
-    """Build an original-M3 platform (no multiplexing)."""
-    config = config or PlatformConfig()
-    if overrides:
-        config = replace(config, **overrides)
-    return M3Platform(config)
+    """Deprecated: use :func:`repro.api.build_system`."""
+    return _deprecated_build("m3", config, overrides)
 
 
 class M3xPlatform(M3vPlatform):
@@ -237,8 +247,5 @@ class M3xPlatform(M3vPlatform):
 
 
 def build_m3x(config: Optional[PlatformConfig] = None, **overrides) -> M3xPlatform:
-    """Build an M3x baseline platform."""
-    config = config or PlatformConfig()
-    if overrides:
-        config = replace(config, **overrides)
-    return M3xPlatform(config)
+    """Deprecated: use :func:`repro.api.build_system`."""
+    return _deprecated_build("m3x", config, overrides)

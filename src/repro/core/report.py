@@ -72,7 +72,10 @@ def progress_line(sweep: str, done: int, total: int, cached: int,
 
 
 def runner_summary(runner, elapsed_s: float = None) -> str:
-    """End-of-run line for a :class:`repro.runner.Runner`."""
+    """End-of-run line for a :class:`repro.runner.Runner`.
+
+    With self-profiling on (``Runner(profile=True)``), the per-subsystem
+    wall-clock table merged over every simulated point is appended."""
     parts = [f"runner: {runner.total_points} points",
              f"{runner.simulated} simulated",
              f"{runner.served} from cache (jobs={runner.jobs})"]
@@ -82,6 +85,19 @@ def runner_summary(runner, elapsed_s: float = None) -> str:
         line += f", {failed} FAILED"
     if elapsed_s is not None:
         line += f" in {format_duration(elapsed_s)}"
+    if getattr(runner, "profile", False):
+        outcomes = (getattr(runner, "all_outcomes", None)
+                    or getattr(runner, "last_outcomes", []))
+        profiles = [o.profile for o in outcomes
+                    if o is not None and o.profile]
+        if profiles:
+            from repro.obs import SelfProfiler
+
+            merged = SelfProfiler()
+            for p in profiles:
+                merged.merge(p)
+            line += "\nself-profile (merged over simulated points):\n"
+            line += merged.table()
     return line
 
 

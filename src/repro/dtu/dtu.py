@@ -182,6 +182,9 @@ class Dtu:
         held = seq is not None and seq in self._credit_held
         if not held:
             if not ep.has_credits:
+                metrics = self.sim.metrics
+                if metrics is not None:
+                    metrics.inc(f"tile{self.tile}/dtu/credit_stalls")
                 raise DtuFault(DtuError.MISSING_CREDITS)
             self._translate(virt_addr, size, Perm.R)
             ep.take_credit()
@@ -212,6 +215,9 @@ class Dtu:
         if held:
             self._credit_held.discard(seq)
         self.stats.counter("dtu/sends").add()
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.series_inc(f"tile{self.tile}/dtu/sends", self.sim.now)
 
     def cmd_reply(self, ep_id: int, msg: Message, data: Any, size: int,
                   virt_addr: int = 0,
@@ -367,6 +373,9 @@ class Dtu:
             if tracer is not None:
                 tracer.emit(self.sim, "msg_timeout", tile=self.tile, uid=uid)
             self.stats.counter("dtu/ack_timeouts").add()
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.inc(f"tile{self.tile}/recovery/ack_timeouts")
             done.succeed(DtuError.TIMEOUT)
 
     def _await_response(self, req: Packet) -> Generator:
@@ -442,6 +451,9 @@ class Dtu:
                 tracer.emit(self.sim, "msg_dedup", tile=self.tile,
                             ep=wire.dst_ep, uid=wire.uid)
             self.stats.counter("dtu/msgs_deduped").add()
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.inc(f"tile{self.tile}/recovery/dedup_hits")
             self._respond(pkt, DtuError.NONE)
             return
         if ep.free_slots == 0:
@@ -471,6 +483,9 @@ class Dtu:
         yield from self._on_deposit_blocking(wire.dst_ep, ep, msg)
         self._respond(pkt, DtuError.NONE)
         self.stats.counter("dtu/msgs_received").add()
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.series_inc(f"tile{self.tile}/dtu/recvs", self.sim.now)
 
     def _trace_bounce(self, wire: WireMsg, error: DtuError) -> None:
         tracer = self.sim.tracer

@@ -271,6 +271,11 @@ class Controller:
         stream of system calls cannot starve the small notify gate.
         """
         while True:
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.sample("ctrl/sysc_q", self.sim.now,
+                               getattr(self.dtu.eps[EP_SYSCALL], "unread", 0)
+                               + getattr(self.dtu.eps[EP_NOTIFY], "unread", 0))
             note = yield from self.dtu.cmd_fetch(EP_NOTIFY)
             if note is not None:
                 yield from self._handle_notify(note)
@@ -340,6 +345,9 @@ class Controller:
         caller = msg.label  # the controller stamped the act id as label
         yield from self._charge(self.SYSCALL_BASE_CY)
         self.stats.counter("ctrl/syscalls").add()
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.series_inc("ctrl/syscalls", self.sim.now)
         try:
             handler = getattr(self, f"_sys_{call.op.value}")
             value = yield from handler(caller, call.args)

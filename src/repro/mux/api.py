@@ -92,7 +92,13 @@ class ActivityApi:
             self._jitter_rng = policy.jitter_rng(self.mux.tile_id,
                                                  self.act.name)
         self.mux.stats.counter("recovery/retransmits").add()
-        yield self.sim.timeout(policy.backoff_ps(attempt, self._jitter_rng))
+        delay = policy.backoff_ps(attempt, self._jitter_rng)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            tile = self.mux.tile_id
+            metrics.inc(f"tile{tile}/recovery/retransmits")
+            metrics.observe(f"tile{tile}/recovery/backoff_ps", delay)
+        yield self.sim.timeout(delay)
 
     # ------------------------------------------------------------- compute
 

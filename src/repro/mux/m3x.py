@@ -103,6 +103,10 @@ class M3xActivityApi(ActivityApi):
             "src_credit_ep": credit_ep,
         })
         self.mux.stats.counter("m3x/slow_paths").add()
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.series_inc(f"tile{self.vdtu.tile}/m3x/slow_paths",
+                               self.sim.now)
 
     def reply(self, ep: int, msg: Message, data: Any, size: int,
               virt: int = 0) -> Generator:
@@ -480,6 +484,9 @@ class M3xController(Controller):
         nxt = self.acts[ready.pop(0)]
         yield from self._restore_context(nxt)
         self.stats.counter("m3x/switches").add()
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.series_inc("ctrl/switches", self.sim.now)
 
     @staticmethod
     def _blocked(act: Activity) -> bool:
@@ -686,6 +693,12 @@ class M3xController(Controller):
             ready.append(act.act_id)
         yield from self._schedule_tile(act.tile_id)
         self.stats.counter("ctrl/forwards").add()
+        metrics = self.sim.metrics
+        if metrics is not None:
+            now = self.sim.now
+            metrics.series_inc("ctrl/forwards", now)
+            metrics.sample("ctrl/slowpath_q", now,
+                           sum(len(r) for r in self._tile_ready.values()))
         return None
 
     def _deliver_direct(self, args) -> Generator:

@@ -145,6 +145,10 @@ class TileMux:
 
     def _pick(self) -> Generator:
         yield from self._charge(self.costs.sched_pick)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.sample(f"tile{self.tile_id}/tilemux/ready_q",
+                           self.sim.now, len(self.ready))
         if self.ready:
             return self.ready.popleft()
         return None
@@ -182,10 +186,20 @@ class TileMux:
 
     def _dispatch(self, ctx: Activity) -> Generator:
         if self._last_dispatched is not ctx:
+            switch_start = self.sim.now
             yield from self._charge(self.costs.ctx_switch)
             self.stats.counter("tilemux/ctx_switches").add()
             self._last_dispatched = ctx
-        yield from self._switch_vdtu(ctx.act_id, ctx.msgs)
+            yield from self._switch_vdtu(ctx.act_id, ctx.msgs)
+            metrics = self.sim.metrics
+            if metrics is not None:
+                now = self.sim.now
+                metrics.series_inc(
+                    f"tile{self.tile_id}/tilemux/ctx_switches", now)
+                metrics.observe(f"tile{self.tile_id}/tilemux/switch_ps",
+                                now - switch_start)
+        else:
+            yield from self._switch_vdtu(ctx.act_id, ctx.msgs)
         ctx.msgs = 0  # now live in CUR_ACT
         ctx.state = ActState.RUNNING
         self.current = ctx

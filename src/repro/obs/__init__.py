@@ -1,0 +1,36 @@
+"""Observability: metrics, span timelines, and simulator self-profiling.
+
+Three independent layers, all **off by default** (every instrumented
+site guards on ``sim.metrics is not None`` / ``sim.profiler is not
+None``, mirroring the tracer hooks of :mod:`repro.sim.trace`):
+
+* :class:`MetricsRegistry` — counters, throttled time-series gauges and
+  histograms sampled on *simulated* time, fed by instrumentation points
+  in the engine, the DTUs, the multiplexers and the controller;
+* :class:`SpanCollector` — per-activity/per-tile interval timelines
+  (running / blocked / switching / quarantined) derived from the trace
+  stream, exportable as JSON or a Chrome ``trace_event`` file;
+* :class:`SelfProfiler` — wall-clock per simulated subsystem and
+  events/sec, for finding where the *simulator itself* spends time.
+
+The uniform way to arm them is :func:`repro.api.build_system` with a
+:class:`~repro.api.MetricsSpec`; :func:`capture_metrics` is the
+lower-level context manager (the analogue of
+:func:`repro.sim.trace.capture`).
+"""
+
+from repro.obs.metrics import MetricsRegistry, capture_metrics, \
+    install_metrics, uninstall_metrics
+from repro.obs.profile import SelfProfiler, capture_profile
+from repro.obs.spans import Span, SpanCollector
+
+__all__ = [
+    "MetricsRegistry",
+    "SelfProfiler",
+    "Span",
+    "SpanCollector",
+    "capture_metrics",
+    "capture_profile",
+    "install_metrics",
+    "uninstall_metrics",
+]

@@ -1,0 +1,187 @@
+"""Span-based activity timelines, derived from the trace stream.
+
+A :class:`SpanCollector` folds the PR-1 trace events into per-tile,
+per-activity intervals:
+
+* ``running`` — between the ``act_switch`` that installed an activity
+  in ``CUR_ACT`` and the one that evicted it;
+* ``blocked`` — between ``act_block`` and the matching ``act_wake``;
+* ``switching`` — per-tile multiplexer overhead: the gap between one
+  activity's running span ending and the next one starting;
+* ``quarantined`` — from ``tile_quarantine`` to the end of the trace.
+
+The collector can subscribe to a live :class:`~repro.sim.trace.Tracer`
+(``collector.attach(tracer)``) or replay a recorded event list
+(``collector.feed(tracer.events)``).  Export as plain JSON or as a
+Chrome ``trace_event`` file loadable in ``chrome://tracing`` /
+Perfetto.
+
+Activity ids in span output are the raw process-global ids unless the
+events were canonicalized first; tile ids and states are stable either
+way.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+ACT_TILEMUX = 0
+ACT_INVALID = 0xFFFF
+
+__all__ = ["Span", "SpanCollector"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed interval on an activity's (or tile's) timeline."""
+
+    sim: int
+    tile: int
+    act: Optional[int]     # None for tile-level spans (switching, quarantine)
+    state: str             # running | blocked | switching | quarantined
+    start: int             # ps
+    end: int               # ps
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class SpanCollector:
+    """Folds trace events into spans; see the module docstring."""
+
+    STATES = ("running", "blocked", "switching", "quarantined")
+
+    def __init__(self):
+        self.spans: List[Span] = []
+        # open state, keyed by (sim, tile)
+        self._running: Dict[Tuple[int, int], Tuple[int, int]] = {}  # act, t0
+        self._blocked: Dict[Tuple[int, int, int], int] = {}         # t0
+        self._run_end: Dict[Tuple[int, int], int] = {}
+        self._quarantined: Dict[Tuple[int, int], int] = {}
+        self._last_ts = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, tracer) -> "SpanCollector":
+        tracer.subscribe(self.on_event)
+        return self
+
+    def feed(self, events: Iterable) -> "SpanCollector":
+        for event in events:
+            self.on_event(event)
+        return self
+
+    # -- event folding --------------------------------------------------------
+
+    def on_event(self, ev) -> None:
+        kind = ev.kind
+        self._last_ts = max(self._last_ts, ev.ts)
+        if kind == "act_switch":
+            self._on_switch(ev)
+        elif kind == "act_block":
+            self._blocked[(ev.sim, ev.get("tile"), ev.get("act"))] = ev.ts
+        elif kind == "act_wake":
+            key = (ev.sim, ev.get("tile"), ev.get("act"))
+            t0 = self._blocked.pop(key, None)
+            if t0 is not None and ev.ts > t0:
+                self.spans.append(Span(ev.sim, key[1], key[2], "blocked",
+                                       t0, ev.ts))
+        elif kind == "act_exit":
+            self._close_running(ev.sim, ev.get("tile"), ev.ts,
+                                only_act=ev.get("act"))
+        elif kind == "tile_quarantine":
+            self._quarantined.setdefault((ev.sim, ev.get("tile")), ev.ts)
+
+    def _on_switch(self, ev) -> None:
+        key = (ev.sim, ev.get("tile"))
+        ts = ev.ts
+        self._close_running(ev.sim, key[1], ts)
+        new_act = ev.get("new_act")
+        if new_act is not None and new_act != ACT_INVALID:
+            # multiplexer overhead since the previous activity ran
+            prev_end = self._run_end.get(key)
+            if prev_end is not None and ts > prev_end:
+                self.spans.append(Span(ev.sim, key[1], None, "switching",
+                                       prev_end, ts))
+            self._running[key] = (new_act, ts)
+
+    def _close_running(self, sim: int, tile: int, ts: int,
+                       only_act: Optional[int] = None) -> None:
+        key = (sim, tile)
+        open_run = self._running.get(key)
+        if open_run is None:
+            return
+        act, t0 = open_run
+        if only_act is not None and act != only_act:
+            return
+        del self._running[key]
+        if ts > t0:
+            self.spans.append(Span(sim, tile, act, "running", t0, ts))
+        self._run_end[key] = ts
+
+    def finish(self, end_ts: Optional[int] = None) -> "SpanCollector":
+        """Close every still-open span at ``end_ts`` (default: the last
+        event's timestamp)."""
+        end = self._last_ts if end_ts is None else end_ts
+        for (sim, tile), (act, t0) in sorted(self._running.items()):
+            if end > t0:
+                self.spans.append(Span(sim, tile, act, "running", t0, end))
+        self._running.clear()
+        for (sim, tile, act), t0 in sorted(self._blocked.items()):
+            if end > t0:
+                self.spans.append(Span(sim, tile, act, "blocked", t0, end))
+        self._blocked.clear()
+        for (sim, tile), t0 in sorted(self._quarantined.items()):
+            if end > t0:
+                self.spans.append(Span(sim, tile, None, "quarantined",
+                                       t0, end))
+        self._quarantined.clear()
+        return self
+
+    # -- queries ---------------------------------------------------------------
+
+    def of_state(self, state: str) -> List[Span]:
+        return [s for s in self.spans if s.state == state]
+
+    def busy_ps(self, tile: int, sim: int = 0) -> int:
+        """Total running time on a tile (any activity)."""
+        return sum(s.duration for s in self.spans
+                   if s.sim == sim and s.tile == tile
+                   and s.state == "running")
+
+    # -- export ----------------------------------------------------------------
+
+    def to_json(self) -> str:
+        ordered = sorted(self.spans,
+                         key=lambda s: (s.sim, s.tile, s.start, s.end))
+        return json.dumps([asdict(s) for s in ordered], indent=1)
+
+    def to_chrome(self) -> str:
+        """A Chrome ``trace_event`` document (``ph: "X"`` complete
+        events; timestamps in microseconds as the format requires)."""
+        events: List[Dict[str, Any]] = []
+        tids: Dict[Tuple[int, Any], int] = {}
+
+        def tid_of(tile: int, act) -> int:
+            key = (tile, act)
+            if key not in tids:
+                tids[key] = len(tids)
+                name = (f"tile{tile}" if act is None
+                        else f"tile{tile}/act{act}")
+                events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                               "tid": tids[key], "args": {"name": name}})
+            return tids[key]
+
+        for span in sorted(self.spans,
+                           key=lambda s: (s.tile, s.start, s.end)):
+            events.append({
+                "name": span.state, "ph": "X", "cat": "activity",
+                "pid": span.sim, "tid": tid_of(span.tile, span.act),
+                "ts": span.start / 1e6, "dur": span.duration / 1e6,
+                "args": {"tile": span.tile, "act": span.act},
+            })
+        return json.dumps({"traceEvents": events,
+                           "displayTimeUnit": "ms"}, indent=1)

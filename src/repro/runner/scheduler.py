@@ -30,6 +30,7 @@ import random
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -58,39 +59,58 @@ class PointOutcome:
     key: Optional[str] = None
     trace_digest: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    metrics: Optional[Dict[str, Any]] = None
+    profile: Optional[Dict[str, Any]] = None
 
     @property
     def failed(self) -> bool:
         return self.error is not None
 
 
-def run_point(spec: PointSpec, with_trace: bool = False
-              ) -> Tuple[Any, Optional[Dict[str, Any]], float]:
-    """Execute one point: seed its RNG, simulate, optionally trace.
+def run_point(spec: PointSpec, with_trace: bool = False,
+              with_metrics: bool = False, with_profile: bool = False
+              ) -> Tuple[Any, Optional[Dict[str, Any]], float,
+                         Optional[Dict[str, Any]], Optional[Dict[str, Any]]]:
+    """Execute one point: seed its RNG, simulate, optionally observe.
 
-    Returns ``(value, trace_digest_or_None, wall_seconds)``.  This is
+    Returns ``(value, trace_digest, wall_seconds, metrics, profile)``;
+    the last three are None unless the matching flag is set.  This is
     the single execution path for both the serial (``jobs=1``) and the
-    pooled case — workers call it via :func:`_pool_run`.
+    pooled case — workers call it via :func:`_pool_run`; metrics and
+    profile snapshots cross the pool as their JSON-safe dict forms.
     """
     sweep = registry.get_sweep(spec.sweep)
     random.seed(spec.seed)
+    metrics_reg = profiler = None
     start = time.perf_counter()
-    if with_trace:
-        from repro.sim.trace import capture
-        from repro.testing.golden import digest
+    with ExitStack() as stack:
+        if with_metrics:
+            from repro.obs import capture_metrics
 
-        with capture(exclude=("evq_pop",)) as tracer:
+            metrics_reg = stack.enter_context(capture_metrics())
+        if with_profile:
+            from repro.obs import capture_profile
+
+            profiler = stack.enter_context(capture_profile())
+        if with_trace:
+            from repro.sim.trace import capture
+            from repro.testing.golden import digest
+
+            with capture(exclude=("evq_pop",)) as tracer:
+                value = sweep.point_fn(spec.config)
+            trace_digest = digest(tracer)
+        else:
             value = sweep.point_fn(spec.config)
-        trace_digest = digest(tracer)
-    else:
-        value = sweep.point_fn(spec.config)
-        trace_digest = None
-    return value, trace_digest, time.perf_counter() - start
+            trace_digest = None
+    elapsed = time.perf_counter() - start
+    return (value, trace_digest, elapsed,
+            metrics_reg.as_dict() if metrics_reg is not None else None,
+            profiler.stop().as_dict() if profiler is not None else None)
 
 
-def _pool_run(args: Tuple[PointSpec, bool]):
-    spec, with_trace = args
-    return run_point(spec, with_trace)
+def _pool_run(args: Tuple[PointSpec, bool, bool, bool]):
+    spec, with_trace, with_metrics, with_profile = args
+    return run_point(spec, with_trace, with_metrics, with_profile)
 
 
 class Runner:
@@ -108,16 +128,20 @@ class Runner:
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
                  trace: bool = False, progress: bool = False,
-                 stream=None):
+                 stream=None, metrics: bool = False, profile: bool = False):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.trace = trace
+        self.metrics = metrics
+        self.profile = profile
         self.progress = progress
         self.stream = stream if stream is not None else sys.stderr
         self.simulated = 0
         self.served = 0
         self.failed = 0
         self.failures: List[PointOutcome] = []
+        self.last_outcomes: List[PointOutcome] = []
+        self.all_outcomes: List[PointOutcome] = []
         self._fingerprints: Dict[str, str] = {}
 
     # -- cache plumbing -------------------------------------------------------
@@ -162,9 +186,19 @@ class Runner:
                                 trace=self.trace)
                 entry = self.cache.get(key)
                 if entry is not None:
+                    metrics = None
+                    if self.metrics:
+                        metrics = self.cache.get_artifact(key, "metrics")
+                        if metrics is None:
+                            # hit without its metrics sidecar: re-simulate
+                            # so the caller gets the artifact it asked for
+                            self.cache.hits -= 1
+                            self.cache.misses += 1
+                            pending.append((pos, spec, key))
+                            continue
                     outcomes[pos] = PointOutcome(
                         spec, entry["value"], True, 0.0, key,
-                        entry.get("trace_digest"))
+                        entry.get("trace_digest"), metrics=metrics)
                     self.served += 1
                     continue
             pending.append((pos, spec, key))
@@ -173,10 +207,12 @@ class Runner:
         done = 0
 
         def finish(pos: int, spec: PointSpec, key: Optional[str],
-                   value: Any, trace_digest, elapsed: float) -> None:
+                   value: Any, trace_digest, elapsed: float,
+                   metrics=None, profile=None) -> None:
             nonlocal done
             outcomes[pos] = PointOutcome(spec, value, False, elapsed, key,
-                                         trace_digest)
+                                         trace_digest, metrics=metrics,
+                                         profile=profile)
             self.simulated += 1
             done += 1
             if self.cache is not None and key is not None:
@@ -187,6 +223,8 @@ class Runner:
                 if trace_digest is not None:
                     entry["trace_digest"] = trace_digest
                 self.cache.put(key, entry)
+                if metrics is not None:
+                    self.cache.put_artifact(key, "metrics", metrics)
             if self.progress:
                 wall = time.perf_counter() - started
                 remaining = len(pending) - done
@@ -215,20 +253,22 @@ class Runner:
             (deterministic: a genuine crash crashes again; a killed
             worker or transient host issue gets a second chance)."""
             try:
-                value, trace_digest, elapsed = run_point(spec, self.trace)
+                result = run_point(spec, self.trace, self.metrics,
+                                   self.profile)
             except Exception as exc:
                 fail(pos, spec, key, exc)
             else:
-                finish(pos, spec, key, value, trace_digest, elapsed)
+                finish(pos, spec, key, *result)
 
         if pending and self.jobs == 1:
             for pos, spec, key in pending:
                 try:
-                    value, trace_digest, elapsed = run_point(spec, self.trace)
+                    result = run_point(spec, self.trace, self.metrics,
+                                       self.profile)
                 except Exception:
                     retry_then_fail(pos, spec, key)
                 else:
-                    finish(pos, spec, key, value, trace_digest, elapsed)
+                    finish(pos, spec, key, *result)
         elif pending:
             # futures that raise — a crashing point, or every sibling of
             # a worker the OS killed (BrokenProcessPool) — are retried
@@ -236,17 +276,21 @@ class Runner:
             to_retry: List[Tuple[int, PointSpec, Optional[str]]] = []
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 futures = {
-                    pool.submit(_pool_run, (spec, self.trace)): (pos, spec, key)
+                    pool.submit(_pool_run,
+                                (spec, self.trace, self.metrics,
+                                 self.profile)): (pos, spec, key)
                     for pos, spec, key in pending}
                 for future in as_completed(futures):
                     pos, spec, key = futures[future]
                     try:
-                        value, trace_digest, elapsed = future.result()
+                        result = future.result()
                     except Exception:
                         to_retry.append((pos, spec, key))
                     else:
-                        finish(pos, spec, key, value, trace_digest, elapsed)
+                        finish(pos, spec, key, *result)
             for pos, spec, key in to_retry:
                 retry_then_fail(pos, spec, key)
 
+        self.last_outcomes = outcomes  # type: ignore[assignment]
+        self.all_outcomes.extend(outcomes)  # type: ignore[arg-type]
         return outcomes  # type: ignore[return-value]

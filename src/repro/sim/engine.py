@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter as _perf_counter
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 
@@ -40,6 +41,27 @@ def set_default_tracer(tracer) -> None:
     """Install (or clear, with None) the tracer for new Simulators."""
     global _default_tracer
     _default_tracer = tracer
+
+
+# Default metrics registry / self-profiler, same contract as the tracer:
+# picked up by newly constructed Simulators, None keeps the hooks free
+# (see repro.obs).
+_default_metrics = None
+_default_profiler = None
+
+
+def set_default_metrics(metrics) -> None:
+    """Install (or clear, with None) the metrics registry for new
+    Simulators."""
+    global _default_metrics
+    _default_metrics = metrics
+
+
+def set_default_profiler(profiler) -> None:
+    """Install (or clear, with None) the self-profiler for new
+    Simulators."""
+    global _default_profiler
+    _default_profiler = profiler
 
 
 class Event:
@@ -232,6 +254,8 @@ class Simulator:
         self.tracer = _default_tracer
         self.trace_id = (_default_tracer.register_sim()
                          if _default_tracer is not None else 0)
+        self.metrics = _default_metrics
+        self.profiler = _default_profiler
 
     # -- factories -----------------------------------------------------------
 
@@ -310,10 +334,23 @@ class Simulator:
         tracer = self.tracer
         if tracer is not None:
             tracer.emit(self, "evq_pop", cls=type(event).__name__)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.on_step(self, event)
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
-        for callback in callbacks:
-            callback(event)
+        profiler = self.profiler
+        if profiler is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            profiler.on_step()
+            clock = _perf_counter
+            for callback in callbacks:
+                t0 = clock()
+                callback(event)
+                profiler.record(getattr(callback, "__self__", None),
+                                clock() - t0)
         if not event._ok and not event._defused:
             raise event._value
 

@@ -13,7 +13,6 @@ from repro.core.exps.fig8 import Fig8Params, run_fig8
 from repro.core.exps.fig9 import Fig9Params, _throughput, gem5_config
 from repro.core.exps.fig10 import Fig10Params, run_fig10
 from repro.core.exps.voice import VoiceParams, run_voice_once
-from repro.core.platform import build_m3v, build_m3x
 
 
 def test_fig6_shape():
@@ -37,8 +36,8 @@ def test_fig8_shape():
 
 def test_fig9_single_tile_advantage():
     p = Fig9Params(find_dirs=4, find_files=6, runs=1)
-    m3v = _throughput(build_m3v, 1, p)
-    m3x = _throughput(build_m3x, 1, p)
+    m3v = _throughput("m3v", 1, p)
+    m3x = _throughput("m3x", 1, p)
     assert m3v > 1.3 * m3x
 
 

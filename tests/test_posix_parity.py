@@ -3,8 +3,7 @@ contents and results on M3v (m3fs) and on the Linux baseline (tmpfs)."""
 
 import pytest
 
-from repro.core import PlatformConfig, build_m3v
-from repro.linuxsim import LinuxMachine
+from repro.api import SystemConfig, build_system
 from repro.posix.vfs import (
     LinuxVfs,
     M3vVfs,
@@ -51,7 +50,8 @@ def file_workload(vfs, out):
 
 
 def run_on_m3v():
-    plat = build_m3v(PlatformConfig(n_proc_tiles=4, n_mem_tiles=1))
+    plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=4,
+                                     n_mem_tiles=1))
     fs = plat.run_proc(boot_m3fs(plat, tile=1, blocks=512))
     env, out = {}, {}
 
@@ -68,7 +68,7 @@ def run_on_m3v():
 
 
 def run_on_linux():
-    machine = LinuxMachine()
+    machine = build_system(SystemConfig(kind="linux"))
     out = {}
 
     def prog(api):
