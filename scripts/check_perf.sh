@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Perf regression gate: run the quick benchmarks and compare against the
+# committed BENCH_engine.json / BENCH_figs.json trajectory.
+#
+# Fails when
+#   * a benchmark's simulated-event count differs from the committed one
+#     (the simulation is deterministic: changed work is never noise), or
+#   * events/sec drops more than PERF_THRESHOLD (default 25%) below the
+#     committed value (wall-clock tolerance for shared CI machines).
+#
+# Environment knobs:
+#   PERF_THRESHOLD   tolerated fractional ev/s drop        (default 0.25)
+#   PERF_RUNS        timed runs per benchmark, best kept   (default 3)
+#   PERF_OUT_DIR     where fresh BENCH files are written   (default tmp)
+set -eu
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+PERF_THRESHOLD="${PERF_THRESHOLD:-0.25}"
+PERF_RUNS="${PERF_RUNS:-3}"
+PERF_OUT_DIR="${PERF_OUT_DIR:-}"
+if [ -z "$PERF_OUT_DIR" ]; then
+    PERF_OUT_DIR="$(mktemp -d)"
+    trap 'rm -rf "$PERF_OUT_DIR"' EXIT
+fi
+
+echo "== perf gate: quick benchmarks vs committed trajectory =="
+python -m repro bench --out-dir "$PERF_OUT_DIR" --runs "$PERF_RUNS" \
+    --against . --threshold "$PERF_THRESHOLD"
+echo "== perf gate passed =="

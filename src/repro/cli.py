@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -404,6 +405,24 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro import bench
+
+    paths = bench.write_bench_files(args.out_dir, args.runs, args.which)
+    for path in paths:
+        print(f"wrote {path}")
+    if args.against:
+        problems = bench.check_against(args.against, args.out_dir,
+                                       args.threshold)
+        if problems:
+            print("PERF GATE FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"perf gate passed (threshold {args.threshold:.0%})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="M3v reproduction experiment runner")
@@ -493,6 +512,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--chrome", metavar="FILE",
                    help="export a Chrome trace_event file to FILE")
     p.set_defaults(func=_cmd_trace)
+    p = sub.add_parser("bench", parents=[common])
+    p.add_argument("--out-dir", default=".", metavar="DIR",
+                   help="where to write BENCH_engine.json / BENCH_figs.json "
+                        "(default: current directory)")
+    p.add_argument("--runs", type=int, default=3, metavar="N",
+                   help="timed runs per benchmark; the best is kept")
+    p.add_argument("--which", choices=("all", "engine", "figs"),
+                   default="all", help="which BENCH file(s) to produce")
+    p.add_argument("--against", metavar="DIR",
+                   help="compare against the committed BENCH_*.json in DIR "
+                        "and exit 1 on regression")
+    p.add_argument("--threshold", type=float,
+                   default=float(os.environ.get("PERF_THRESHOLD", "0.25")),
+                   help="tolerated events/sec drop vs the committed "
+                        "trajectory (default 0.25)")
+    p.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

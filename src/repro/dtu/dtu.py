@@ -38,7 +38,7 @@ _tags = itertools.count(1)
 _msg_uids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class WireMsg:
     """Payload of a MSG packet."""
 
@@ -75,7 +75,7 @@ class ExtOp(enum.Enum):
                                  # message deposited between the two
 
 
-@dataclass
+@dataclass(slots=True)
 class ExtRequest:
     op: ExtOp
     args: Dict[str, Any] = field(default_factory=dict)
@@ -93,7 +93,19 @@ class Dtu:
         self.params = params or DtuParams()
         self.stats = stats or StatRegistry()
         self.eps: List[Endpoint] = [Endpoint() for _ in range(self.params.num_endpoints)]
+        # receive-EP index cache for scan loops; configure() invalidates
+        self._eps_version = 0
+        self._recv_ids: List[int] = []
+        self._recv_ids_version = -1
         self._inbox = fabric.attach(tile)
+        # hot-path constants and counters, hoisted (params never change)
+        pr = self.params
+        self._cmd2_ps = 2 * pr.mmio_access_ps + pr.cmd_setup_ps
+        self._cmd4_ps = 4 * pr.mmio_access_ps + pr.cmd_setup_ps
+        self._cmd5_ps = 5 * pr.mmio_access_ps + pr.cmd_setup_ps
+        self._ctr_sends = self.stats.counter("dtu/sends")
+        self._ctr_replies = self.stats.counter("dtu/replies")
+        self._ctr_received = self.stats.counter("dtu/msgs_received")
         self._pending: Dict[int, Any] = {}   # tag -> completion Event
         # fault/recovery hooks (repro.faults); both inert by default so
         # the fault-free path is byte-identical to the plain DTU
@@ -115,6 +127,7 @@ class Dtu:
     def configure(self, ep_id: int, endpoint: Endpoint) -> None:
         self._check_ep_id(ep_id)
         self.eps[ep_id] = endpoint
+        self._eps_version += 1
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit(self.sim, "ep_install", tile=self.tile, ep=ep_id,
@@ -124,6 +137,14 @@ class Dtu:
     def invalidate_ep(self, ep_id: int) -> None:
         self.configure(ep_id, Endpoint())
 
+    def recv_ep_indices(self) -> List[int]:
+        """Indices of installed receive EPs, in endpoint order (cached)."""
+        if self._recv_ids_version != self._eps_version:
+            self._recv_ids = [i for i, ep in enumerate(self.eps)
+                              if ep.kind is EndpointKind.RECEIVE]
+            self._recv_ids_version = self._eps_version
+        return self._recv_ids
+
     def _check_ep_id(self, ep_id: int) -> None:
         if not 0 <= ep_id < len(self.eps):
             raise DtuFault(DtuError.UNKNOWN_EP, f"ep id {ep_id} out of range")
@@ -132,7 +153,8 @@ class Dtu:
 
     def _usable_ep(self, ep_id: int, kind: EndpointKind):
         """Fetch an endpoint for *use* by the current activity."""
-        self._check_ep_id(ep_id)
+        if not 0 <= ep_id < len(self.eps):
+            raise DtuFault(DtuError.UNKNOWN_EP, f"ep id {ep_id} out of range")
         ep = self.eps[ep_id]
         if ep.kind is not kind:
             raise DtuFault(DtuError.UNKNOWN_EP, f"ep {ep_id} is {ep.kind.value}")
@@ -159,7 +181,7 @@ class Dtu:
     # -- unprivileged commands -------------------------------------------------
 
     def _mmio(self, accesses: int) -> Generator:
-        yield self.sim.timeout(accesses * self.params.mmio_access_ps)
+        yield accesses * self.params.mmio_access_ps
 
     def cmd_send(self, ep_id: int, data: Any, size: int,
                  reply_ep: Optional[int] = None,
@@ -174,8 +196,7 @@ class Dtu:
         DTU drops copies it already deposited.
         """
         # command registers: ep, addr, size, reply ep + trigger + poll
-        yield from self._mmio(5)
-        yield self.sim.timeout(self.params.cmd_setup_ps)
+        yield self._cmd5_ps
         ep = self._usable_ep(ep_id, EndpointKind.SEND)
         if size > ep.max_msg_size:
             raise DtuFault(DtuError.MSG_TOO_LARGE, f"{size} > {ep.max_msg_size}")
@@ -191,7 +212,7 @@ class Dtu:
         else:
             self._translate(virt_addr, size, Perm.R)
         # DMA the message out of the core's memory
-        yield self.sim.timeout(self.params.dma_ps(size))
+        yield self.params.dma_ps(size)
         wire = WireMsg(dst_ep=ep.dst_ep, label=ep.label, data=data, size=size,
                        src_tile=self.tile, reply_ep=reply_ep,
                        credit_ep=ep_id if ep.max_credits != -1 else None,
@@ -214,7 +235,7 @@ class Dtu:
             raise DtuFault(error, f"send to tile {ep.dst_tile} ep {ep.dst_ep}")
         if held:
             self._credit_held.discard(seq)
-        self.stats.counter("dtu/sends").add()
+        self._ctr_sends.add()
         metrics = self.sim.metrics
         if metrics is not None:
             metrics.series_inc(f"tile{self.tile}/dtu/sends", self.sim.now)
@@ -230,13 +251,12 @@ class Dtu:
         the original credit return, which the receiver's dedup guarantees
         is applied at most once.
         """
-        yield from self._mmio(5)
-        yield self.sim.timeout(self.params.cmd_setup_ps)
+        yield self._cmd5_ps
         ep = self._usable_ep(ep_id, EndpointKind.RECEIVE)
         if not msg.can_reply:
             raise DtuFault(DtuError.UNKNOWN_EP, "message has no reply endpoint")
         self._translate(virt_addr, size, Perm.R)
-        yield self.sim.timeout(self.params.dma_ps(size))
+        yield self.params.dma_ps(size)
         in_buffer = any(slot is msg for slot in ep.buffer)
         if in_buffer:
             msg.reply_credit = None if msg.credited else msg.credit_ep
@@ -261,12 +281,11 @@ class Dtu:
         error = yield from self._transact(PacketKind.MSG, msg.src_tile, wire, size)
         if error is not DtuError.NONE:
             raise DtuFault(error, f"reply to tile {msg.src_tile}")
-        self.stats.counter("dtu/replies").add()
+        self._ctr_replies.add()
 
     def cmd_fetch(self, ep_id: int) -> Generator:
         """FETCH: pop the oldest unread message; returns Message or None."""
-        yield from self._mmio(2)
-        yield self.sim.timeout(self.params.cmd_setup_ps)
+        yield self._cmd2_ps
         ep = self._usable_ep(ep_id, EndpointKind.RECEIVE)
         msg = ep.fetch()
         if msg is not None:
@@ -282,8 +301,7 @@ class Dtu:
 
     def cmd_ack(self, ep_id: int, msg: Message) -> Generator:
         """ACK: free the message's slot; return the credit if still owed."""
-        yield from self._mmio(2)
-        yield self.sim.timeout(self.params.cmd_setup_ps)
+        yield self._cmd2_ps
         ep = self._usable_ep(ep_id, EndpointKind.RECEIVE)
         was_read = msg.read
         ep.ack(msg)
@@ -301,8 +319,7 @@ class Dtu:
     def cmd_read(self, ep_id: int, offset: int, size: int,
                  virt_addr: int = 0) -> Generator:
         """READ: DMA ``size`` bytes from a memory endpoint; returns bytes."""
-        yield from self._mmio(4)
-        yield self.sim.timeout(self.params.cmd_setup_ps)
+        yield self._cmd4_ps
         ep = self._usable_ep(ep_id, EndpointKind.MEMORY)
         if Perm.R not in ep.perm:
             raise DtuFault(DtuError.NO_PERM, "memory EP not readable")
@@ -314,7 +331,7 @@ class Dtu:
                      size=0, payload=(ep.base + offset, size), tag=next(_tags))
         data = yield from self._await_response(req)
         # DMA the data into the core's memory
-        yield self.sim.timeout(self.params.dma_ps(size))
+        yield self.params.dma_ps(size)
         self.stats.counter("dtu/reads").add()
         self.stats.counter("dtu/read_bytes").add(size)
         return data
@@ -323,8 +340,7 @@ class Dtu:
                   virt_addr: int = 0) -> Generator:
         """WRITE: DMA ``data`` into a memory endpoint."""
         size = len(data)
-        yield from self._mmio(4)
-        yield self.sim.timeout(self.params.cmd_setup_ps)
+        yield self._cmd4_ps
         ep = self._usable_ep(ep_id, EndpointKind.MEMORY)
         if Perm.W not in ep.perm:
             raise DtuFault(DtuError.NO_PERM, "memory EP not writable")
@@ -332,7 +348,7 @@ class Dtu:
             raise DtuFault(DtuError.OUT_OF_BOUNDS,
                            f"[{offset}, {offset + size}) not in EP of size {ep.size}")
         self._translate(virt_addr, size, Perm.R)
-        yield self.sim.timeout(self.params.dma_ps(size))
+        yield self.params.dma_ps(size)
         req = Packet(PacketKind.WRITE_REQ, src=self.tile, dst=ep.dst_tile,
                      size=size, payload=(ep.base + offset, data), tag=next(_tags))
         yield from self._await_response(req)
@@ -366,7 +382,7 @@ class Dtu:
         back off and resend.  A late ACK for the abandoned tag is dropped
         by :meth:`_handle_packet`.
         """
-        yield self.sim.timeout(timeout_ps)
+        yield timeout_ps
         if self._pending.get(tag) is done:
             del self._pending[tag]
             tracer = self.sim.tracer
@@ -396,7 +412,7 @@ class Dtu:
                 # stuck-tile fault: stop draining the inbox until the
                 # fault clears; the NoC's packet-based flow control
                 # backpressures senders upstream
-                yield self.sim.timeout(self._stall_until - self.sim.now)
+                yield self._stall_until - self.sim.now
             yield from self._handle_packet(pkt)
 
     def _handle_packet(self, pkt: Packet) -> Generator:
@@ -471,7 +487,7 @@ class Dtu:
                       credited=wire.is_reply or wire.credit_ep is None,
                       uid=wire.uid)
         # DMA the payload into the receive buffer in tile memory
-        yield self.sim.timeout(self.params.dma_ps(wire.size))
+        yield self.params.dma_ps(wire.size)
         ep.deposit(msg)
         if wire.chan is not None:
             ep.record_seq(wire.chan, wire.chan_seq)
@@ -482,7 +498,7 @@ class Dtu:
                         unread=ep.unread)
         yield from self._on_deposit_blocking(wire.dst_ep, ep, msg)
         self._respond(pkt, DtuError.NONE)
-        self.stats.counter("dtu/msgs_received").add()
+        self._ctr_received.add()
         metrics = self.sim.metrics
         if metrics is not None:
             metrics.series_inc(f"tile{self.tile}/dtu/recvs", self.sim.now)
@@ -516,7 +532,7 @@ class Dtu:
 
     def _handle_ext(self, pkt: Packet) -> Generator:
         req: ExtRequest = pkt.payload
-        yield self.sim.timeout(self.params.ext_cmd_ps)
+        yield self.params.ext_cmd_ps
         result: Any = None
         if req.op is ExtOp.CONFIG_EP:
             self.configure(req.args["ep_id"], req.args["endpoint"])
@@ -524,18 +540,18 @@ class Dtu:
             self.invalidate_ep(req.args["ep_id"])
         elif req.op is ExtOp.READ_EPS:
             ids = req.args["ep_ids"]
-            yield self.sim.timeout(self.params.ext_cmd_ps * len(ids))
+            yield self.params.ext_cmd_ps * len(ids)
             result = {i: self.eps[i].snapshot()
                       if self.eps[i].kind is not EndpointKind.INVALID else Endpoint()
                       for i in ids}
         elif req.op is ExtOp.WRITE_EPS:
             eps = req.args["eps"]
-            yield self.sim.timeout(self.params.ext_cmd_ps * len(eps))
+            yield self.params.ext_cmd_ps * len(eps)
             for ep_id, ep in eps.items():
                 self.configure(ep_id, ep)
         elif req.op is ExtOp.SWAP_EPS:
             ids = req.args["ep_ids"]
-            yield self.sim.timeout(self.params.ext_cmd_ps * 2 * len(ids))
+            yield self.params.ext_cmd_ps * 2 * len(ids)
             # snapshot and invalidate with no intervening yield: deposits
             # that raced the save landed before this instant and are in
             # the snapshot; later arrivals bounce to the slow path
@@ -547,6 +563,64 @@ class Dtu:
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown ext op {req.op}")
         self.fabric.send(pkt.response_to(PacketKind.EXT_RESP, payload=result))
+
+
+class SparseDram:
+    """A zero-initialized byte store that allocates 64 KiB pages on first
+    write.
+
+    Behaves like ``bytearray(size)`` for the slice reads/writes the DMA
+    path performs, without paying the up-front allocation and zeroing of
+    the full DRAM size per memory tile (64 MiB per tile dominated
+    platform construction time).  Unwritten ranges read as zeros.
+    """
+
+    __slots__ = ("size", "_pages")
+
+    PAGE = 1 << 16
+
+    def __init__(self, size: int):
+        self.size = size
+        self._pages: Dict[int, bytearray] = {}
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, key: slice) -> bytearray:
+        start, stop, step = key.indices(self.size)
+        if step != 1:
+            raise ValueError("SparseDram only supports contiguous slices")
+        out = bytearray(stop - start)
+        page_size = self.PAGE
+        pages = self._pages
+        pos = start
+        while pos < stop:
+            page_no, off = divmod(pos, page_size)
+            chunk = min(page_size - off, stop - pos)
+            page = pages.get(page_no)
+            if page is not None:
+                out[pos - start:pos - start + chunk] = page[off:off + chunk]
+            pos += chunk
+        return out
+
+    def __setitem__(self, key: slice, data) -> None:
+        start, stop, step = key.indices(self.size)
+        if step != 1:
+            raise ValueError("SparseDram only supports contiguous slices")
+        if len(data) != stop - start:
+            raise ValueError(f"cannot write {len(data)} bytes into "
+                             f"[{start}, {stop})")
+        page_size = self.PAGE
+        pages = self._pages
+        pos = start
+        while pos < stop:
+            page_no, off = divmod(pos, page_size)
+            chunk = min(page_size - off, stop - pos)
+            page = pages.get(page_no)
+            if page is None:
+                page = pages[page_no] = bytearray(page_size)
+            page[off:off + chunk] = data[pos - start:pos - start + chunk]
+            pos += chunk
 
 
 class MemoryDtu(Dtu):
@@ -564,13 +638,13 @@ class MemoryDtu(Dtu):
                  stats: Optional[StatRegistry] = None):
         super().__init__(sim, tile, fabric, params=params, stats=stats)
         self.dram_params = dram or DramParams()
-        self.dram = bytearray(dram_size)
+        self.dram = SparseDram(dram_size)
 
     def _handle_packet(self, pkt: Packet) -> Generator:
         if pkt.kind is PacketKind.READ_REQ:
             addr, size = pkt.payload
             self._check_range(pkt, addr, size)
-            yield self.sim.timeout(self.dram_params.access_ps(size))
+            yield self.dram_params.access_ps(size)
             data = bytes(self.dram[addr:addr + size])
             self.fabric.send(pkt.response_to(PacketKind.READ_RESP,
                                              size=size, payload=data))
@@ -578,7 +652,7 @@ class MemoryDtu(Dtu):
         elif pkt.kind is PacketKind.WRITE_REQ:
             addr, data = pkt.payload
             self._check_range(pkt, addr, len(data))
-            yield self.sim.timeout(self.dram_params.access_ps(len(data)))
+            yield self.dram_params.access_ps(len(data))
             self.dram[addr:addr + len(data)] = data
             self.fabric.send(pkt.response_to(PacketKind.WRITE_RESP))
             self.stats.counter("dram/writes").add()

@@ -31,7 +31,7 @@ class Perm(enum.Flag):
     RW = R | W
 
 
-@dataclass
+@dataclass(slots=True)
 class Endpoint:
     """Common endpoint header: kind and owning activity id."""
 
@@ -43,7 +43,7 @@ class Endpoint:
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(slots=True)
 class SendEndpoint(Endpoint):
     """A send endpoint: targets exactly one receive endpoint."""
 
@@ -86,7 +86,7 @@ class SendEndpoint(Endpoint):
                             reply_ep=self.reply_ep)
 
 
-@dataclass
+@dataclass(slots=True)
 class ReceiveEndpoint(Endpoint):
     """A receive endpoint: a ring of message slots in tile memory."""
 
@@ -94,6 +94,7 @@ class ReceiveEndpoint(Endpoint):
     slot_size: int = 512           # max message size it can accept
     buffer: List[Optional[Message]] = field(default_factory=list)
     unread: int = 0
+    used: int = 0                  # occupied slots (recomputed on init)
     # retransmission dedup (repro.faults recovery): highest channel
     # sequence number ever *deposited*, per sender channel.  Stays empty
     # unless senders number their messages, so the default path never
@@ -104,6 +105,7 @@ class ReceiveEndpoint(Endpoint):
         self.kind = EndpointKind.RECEIVE
         if not self.buffer:
             self.buffer = [None] * self.slots
+        self.used = sum(1 for slot in self.buffer if slot is not None)
 
     def is_duplicate(self, chan: int, chan_seq: int) -> bool:
         """Was a message of this channel with seq >= ``chan_seq`` deposited?"""
@@ -116,7 +118,7 @@ class ReceiveEndpoint(Endpoint):
 
     @property
     def free_slots(self) -> int:
-        return sum(1 for slot in self.buffer if slot is None)
+        return self.slots - self.used
 
     def deposit(self, msg: Message) -> int:
         """Store a message; returns the slot index.
@@ -127,11 +129,14 @@ class ReceiveEndpoint(Endpoint):
             if slot is None:
                 self.buffer[idx] = msg
                 self.unread += 1
+                self.used += 1
                 return idx
         raise RuntimeError("deposit into full receive endpoint")
 
     def fetch(self) -> Optional[Message]:
         """Return the oldest unread message and mark it read."""
+        if self.unread == 0:
+            return None  # empty polls dominate; skip the slot scan
         best = None
         for msg in self.buffer:
             if msg is not None and not msg.read:
@@ -147,6 +152,7 @@ class ReceiveEndpoint(Endpoint):
         for idx, slot in enumerate(self.buffer):
             if slot is msg:
                 self.buffer[idx] = None
+                self.used -= 1
                 if not msg.read:
                     self.unread -= 1
                 return
@@ -161,7 +167,7 @@ class ReceiveEndpoint(Endpoint):
         return ep
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryEndpoint(Endpoint):
     """A memory endpoint: a window into tile-external memory."""
 

@@ -14,7 +14,7 @@ from typing import Any, Optional
 _seq = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One received message occupying a receive-buffer slot."""
 

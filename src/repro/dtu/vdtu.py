@@ -171,8 +171,8 @@ class VDtu(Dtu):
         The atomicity guarantees no message notification can be lost
         between the check and the switch (section 3.7).
         """
-        yield from self._mmio(2)
-        yield self.sim.timeout(self.params.priv_cmd_ps)
+        yield 2 * self.params.mmio_access_ps
+        yield self.params.priv_cmd_ps
         old = (self.cur_act, self.cur_msgs)
         self.cur_act = new_act
         self.cur_msgs = new_msgs
@@ -186,13 +186,13 @@ class VDtu(Dtu):
 
     def priv_read_cur_act(self) -> Generator:
         """Read CUR_ACT without switching."""
-        yield from self._mmio(1)
+        yield 1 * self.params.mmio_access_ps
         return (self.cur_act, self.cur_msgs)
 
     def priv_insert_tlb(self, act: int, virt_page: int, phys_page: int,
                         perm: Perm, pinned: bool = False) -> Generator:
-        yield from self._mmio(2)
-        yield self.sim.timeout(self.params.priv_cmd_ps)
+        yield 2 * self.params.mmio_access_ps
+        yield self.params.priv_cmd_ps
         evicted = self.tlb.insert(act, virt_page, phys_page, perm,
                                   pinned=pinned)
         tracer = self.sim.tracer
@@ -205,19 +205,19 @@ class VDtu(Dtu):
 
     def priv_invalidate_tlb(self, act: int,
                             virt_page: Optional[int] = None) -> Generator:
-        yield from self._mmio(2)
-        yield self.sim.timeout(self.params.priv_cmd_ps)
+        yield 2 * self.params.mmio_access_ps
+        yield self.params.priv_cmd_ps
         self.tlb.invalidate(act, virt_page)
 
     def priv_fetch_core_req(self) -> Generator:
         """Read the head of the core-request queue (or None)."""
-        yield from self._mmio(1)
+        yield 1 * self.params.mmio_access_ps
         return self._core_reqs[0] if self._core_reqs else None
 
     def priv_ack_core_req(self) -> Generator:
         """Pop the head core request; re-raises the IRQ if more remain."""
-        yield from self._mmio(1)
-        yield self.sim.timeout(self.params.priv_cmd_ps)
+        yield 1 * self.params.mmio_access_ps
+        yield self.params.priv_cmd_ps
         if self._core_reqs:
             self._core_reqs.popleft()
             tracer = self.sim.tracer

@@ -203,7 +203,7 @@ class StuckTile:
 
         def episodes():
             while sim.now < deadline:
-                yield sim.timeout(rng.randrange(1, 2 * self.mean_gap_ps))
+                yield rng.randrange(1, 2 * self.mean_gap_ps)
                 if sim.now >= deadline:
                     return
                 dtu = tiles[rng.randrange(len(tiles))].dtu

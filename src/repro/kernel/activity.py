@@ -135,6 +135,8 @@ class Activity:
     # accounting (user/system split for Figure 10)
     user_ps: int = 0
     sys_ps: int = 0
+    # value the mux injects into gen on the next dispatch (set on preempt)
+    _resume_value: Any = None
 
     def __post_init__(self) -> None:
         if self.addrspace is None:

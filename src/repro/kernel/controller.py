@@ -197,13 +197,17 @@ class Controller:
         self._msg_latch = False
 
     def _charge(self, cycles: int) -> Generator:
+        yield self._charge_ps(cycles)
+
+    def _charge_ps(self, cycles: int) -> int:
+        """Account ``cycles`` of controller occupancy; returns the delay."""
         ps = self.clock.cycles_to_ps(cycles)
         self.busy_ps += ps
-        yield self.sim.timeout(ps)
+        return ps
 
     def _ext(self, tile_id: int, op: ExtOp, args: Dict[str, Any]) -> Generator:
         """One external-interface request to a tile's DTU."""
-        yield from self._charge(self.EXT_REQ_CY)
+        yield self._charge_ps(self.EXT_REQ_CY)
         req = Packet(PacketKind.EXT_REQ, src=self.tile_id, dst=tile_id,
                      size=48, payload=ExtRequest(op, args), tag=next(_ext_tags))
         result = yield from self.dtu._await_response(req)
@@ -239,7 +243,7 @@ class Controller:
         yield self._req_lock.get()  # serialize: single-threaded controller
         try:
             req = TmuxReq(op, args)
-            yield from self._charge(self.EXT_REQ_CY)
+            yield self._charge_ps(self.EXT_REQ_CY)
             yield from self.dtu.cmd_send(self._tmux_seps[tile_id], req,
                                          size=TmuxReq.SIZE, reply_ep=EP_REPLY)
             reply = yield from self._await_reply(req.seq)
@@ -288,7 +292,7 @@ class Controller:
 
     def _handle_notify(self, msg) -> Generator:
         note: NotifyMsg = msg.data
-        yield from self._charge(self.SYSCALL_BASE_CY)
+        yield self._charge_ps(self.SYSCALL_BASE_CY)
         if note.kind is TmuxNotify.EXIT:
             act = self.acts.get(note.args["act_id"])
             if act is not None:
@@ -343,7 +347,7 @@ class Controller:
     def _handle_syscall(self, msg) -> Generator:
         call: SyscallMsg = msg.data
         caller = msg.label  # the controller stamped the act id as label
-        yield from self._charge(self.SYSCALL_BASE_CY)
+        yield self._charge_ps(self.SYSCALL_BASE_CY)
         self.stats.counter("ctrl/syscalls").add()
         metrics = self.sim.metrics
         if metrics is not None:
@@ -560,7 +564,7 @@ class Controller:
         act.exit_event = self.sim.event()
         self.acts[act.act_id] = act
         self.tables[act.act_id] = CapTable(act.act_id)
-        yield from self._charge(self.SPAWN_CY)
+        yield self._charge_ps(self.SPAWN_CY)
 
         # heap memory: carve frames out of the tile's PMP window
         brk = self._window_brk[tile_id]
@@ -596,7 +600,7 @@ class Controller:
                 act_id=act.act_id, mgate_sel=pager_cap.sel,
                 base_virt=AddressSpace.HEAP_BASE, frames=n_pages))
             act.pager_session = {"service": pager}
-            yield from self._charge(2 * self.SYSCALL_BASE_CY)
+            yield self._charge_ps(2 * self.SYSCALL_BASE_CY)
 
         # syscall channel endpoints
         sep = self.alloc_ep(tile_id)
@@ -625,7 +629,7 @@ class Controller:
         created at the source so RPC-style request/response works.
         Charged like the equivalent sequence of system calls.
         """
-        yield from self._charge(3 * self.SYSCALL_BASE_CY)
+        yield self._charge_ps(3 * self.SYSCALL_BASE_CY)
         recv_ep = self.alloc_ep(dst_act.tile_id)
         yield from self.config_ep(dst_act.tile_id, recv_ep, ReceiveEndpoint(
             act=dst_act.act_id, slots=slots, slot_size=slot_size))
@@ -642,7 +646,7 @@ class Controller:
     def wire_memory(self, act: Activity, mem_tile: int, base: int, size: int,
                     perm: Perm = Perm.RW, ep_id: Optional[int] = None) -> Generator:
         """Boot-style memory endpoint for ``act`` (e.g. the fs image)."""
-        yield from self._charge(self.SYSCALL_BASE_CY)
+        yield self._charge_ps(self.SYSCALL_BASE_CY)
         if ep_id is None:
             ep_id = self.alloc_ep(act.tile_id)
         yield from self.config_ep(act.tile_id, ep_id, MemoryEndpoint(

@@ -87,7 +87,7 @@ class LinuxApi:
         remaining = int(cycles)
         while remaining > 0:
             chunk = min(remaining, self.COMPUTE_CHUNK_CYCLES)
-            yield self.sim.timeout(self.clock.cycles_to_ps(chunk))
+            yield self.clock.cycles_to_ps(chunk)
             remaining -= chunk
 
     def compute_us(self, us: float) -> Generator:
@@ -229,7 +229,7 @@ class LinuxMachine:
         ps = self.clock.cycles_to_ps(cycles)
         proc.sys_ps += ps
         self.stats.counter("linux/syscalls").add()
-        yield self.sim.timeout(ps)
+        yield ps
 
     # ------------------------------------------------------------- main loop
 
@@ -274,7 +274,8 @@ class LinuxMachine:
                 self._exit(proc, 0)
                 break
             inject = None
-            if isinstance(item, Event):
+            if type(item) is int or isinstance(item, Event):
+                # ints are the engine's timeout fast path; forward as-is
                 inject = yield item
             elif isinstance(item, Sys):
                 account_user()

@@ -98,7 +98,7 @@ class ActivityApi:
             tile = self.mux.tile_id
             metrics.inc(f"tile{tile}/recovery/retransmits")
             metrics.observe(f"tile{tile}/recovery/backoff_ps", delay)
-        yield self.sim.timeout(delay)
+        yield delay
 
     # ------------------------------------------------------------- compute
 
@@ -107,7 +107,7 @@ class ActivityApi:
         remaining = int(cycles)
         while remaining > 0:
             chunk = min(remaining, self.COMPUTE_CHUNK_CYCLES)
-            yield self.sim.timeout(self.clock.cycles_to_ps(chunk))
+            yield self.clock.cycles_to_ps(chunk)
             remaining -= chunk
 
     def compute_us(self, us: float) -> Generator:
@@ -161,7 +161,7 @@ class ActivityApi:
                     if self.mux.others_ready(self.act):
                         yield TmCall("yield", {})
                     else:
-                        yield self.sim.timeout(5_000_000)  # re-poll in 5 us
+                        yield 5_000_000  # re-poll in 5 us
                     yield from self.compute(self.costs.lib_poll)
                     continue
                 if policy is not None and fault.error in RETRYABLE_ERRORS:

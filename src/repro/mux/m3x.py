@@ -176,12 +176,19 @@ class M3xMux:
         self.costs = costs
         self.clock = costs.clock
         self.stats = stats if stats is not None else dtu.stats
+        # hot-path charge constants: the clock never changes after init,
+        # and cycles_to_ps is linear, so these are exact
+        self._tmcall_enter_ps = self.clock.cycles_to_ps(
+            costs.trap_enter + costs.tmcall_dispatch)
+        self._trap_exit_ps = self.clock.cycles_to_ps(costs.trap_exit)
+        self._scan_ep_ps = self.clock.cycles_to_ps(self.SCAN_EP_CY)
 
         self.recovery = None  # RecoveryPolicy once enable_recovery() ran
         self.acts: Dict[int, Activity] = {}
         self.current: Optional[Activity] = None
         self._resume_next: Optional[int] = None
         self._wake: Event = sim.event()
+        self._wake_waiting = False   # main loop is parked on _wake
         self._poll_waiters: list = []
         self._msg_latch = False
         dtu.msg_callback = self._on_msg
@@ -197,7 +204,10 @@ class M3xMux:
 
     def _on_msg(self, ep_id: int) -> None:
         self._msg_latch = True
-        if not self._wake.triggered:
+        # only schedule a wake event if the main loop is actually parked:
+        # the latch alone covers deposits that land while it runs, and an
+        # un-waited wake pop is pure event-queue load with no effect
+        if self._wake_waiting and not self._wake.triggered:
             self._wake.succeed()
         waiters, self._poll_waiters = self._poll_waiters, []
         for ev in waiters:
@@ -217,7 +227,7 @@ class M3xMux:
         return ev
 
     def _charge(self, cycles: int) -> Generator:
-        yield self.sim.timeout(self.clock.cycles_to_ps(cycles))
+        yield self.clock.cycles_to_ps(cycles)
 
     def _notify_ctrl(self, note: NotifyMsg) -> Generator:
         """Send a notification, riding out notify-credit exhaustion.
@@ -239,7 +249,7 @@ class M3xMux:
                 if fault.error is not DtuError.MISSING_CREDITS:
                     raise
                 yield from self._service_ctrl_requests()
-                yield self.sim.timeout(2_000_000)  # re-poll in 2 us
+                yield 2_000_000  # re-poll in 2 us
 
     def _emit(self, kind: str, **fields) -> None:
         tracer = self.sim.tracer
@@ -255,7 +265,7 @@ class M3xMux:
                 nxt = self.acts.get(self._resume_next)
                 self._resume_next = None
                 if nxt is not None:
-                    yield from self._charge(self.RESUME_CY)
+                    yield self.clock.cycles_to_ps(self.RESUME_CY)
                     nxt.state = ActState.READY
                     self.current = nxt
             ctx = self.current
@@ -270,7 +280,9 @@ class M3xMux:
                     continue
                 if self._wake.triggered:
                     self._wake = self.sim.event()
+                self._wake_waiting = True
                 yield self._wake
+                self._wake_waiting = False
                 self._msg_latch = False
                 continue
             yield from self._dispatch(ctx)
@@ -279,20 +291,24 @@ class M3xMux:
         """Scan the installed receive endpoints — M3x's DTU has no
         per-activity message counter, hence the per-EP iteration the
         paper calls undesirable (section 3.7)."""
+        eps = self.vdtu.eps
         count = 0
-        for ep in self.vdtu.eps:
-            if ep.kind is EndpointKind.RECEIVE:
-                count += 1
-                if ep.unread > 0:
-                    break
-        yield from self._charge(self.SCAN_EP_CY * max(1, count))
-        return any(ep.kind is EndpointKind.RECEIVE and ep.unread > 0
-                   for ep in self.vdtu.eps)
+        for i in self.vdtu.recv_ep_indices():
+            count += 1
+            if eps[i].unread > 0:
+                break
+        yield self._scan_ep_ps * max(1, count)
+        # re-check after the charge: a message may have landed meanwhile
+        # (and the EP set itself may have been reconfigured)
+        for i in self.vdtu.recv_ep_indices():
+            if eps[i].unread > 0:
+                return True
+        return False
 
     def _dispatch(self, ctx: Activity) -> Generator:
         ctx.state = ActState.RUNNING
         run_start = self.sim.now
-        inject_val = getattr(ctx, "_resume_value", None)
+        inject_val = ctx._resume_value
         ctx._resume_value = None
         keep = True
         while keep:
@@ -308,7 +324,8 @@ class M3xMux:
                 yield from self._exit(ctx, 0)
                 break
             inject_val = None
-            if isinstance(item, Event):
+            if type(item) is int or isinstance(item, Event):
+                # ints are the engine's timeout fast path; forward as-is
                 inject_val = yield item
             elif isinstance(item, TmCall):
                 inject_val, keep = yield from self._tmcall(ctx, item)
@@ -321,11 +338,11 @@ class M3xMux:
     # ----------------------------------------------------------------- TMCalls
 
     def _tmcall(self, ctx: Activity, call: TmCall) -> Generator:
-        yield from self._charge(self.costs.trap_enter + self.costs.tmcall_dispatch)
+        yield self._tmcall_enter_ps
         op = call.op
         if op == "block":
             if (yield from self._has_unread(ctx)):
-                yield from self._charge(self.costs.trap_exit)
+                yield self._trap_exit_ps
                 return False, True
             ctx.state = ActState.BLOCKED
             self._emit("act_block", act=ctx.act_id)
@@ -350,19 +367,19 @@ class M3xMux:
             return None, False
         if op == "translate":
             # M3x's gem5 DTU ran physically addressed in our benchmarks
-            yield from self._charge(self.costs.trap_exit)
+            yield self._trap_exit_ps
             return True, True
         raise RuntimeError(f"unknown TMCall {op!r}")
 
     def _wake_after(self, ctx: Activity, deadline: int) -> Generator:
-        yield self.sim.timeout(max(0, deadline - self.sim.now))
+        yield max(0, deadline - self.sim.now)
         if ctx.state is ActState.BLOCKED:
             ctx.state = ActState.READY
             self._emit("act_wake", act=ctx.act_id, reason="sleep")
             self._on_msg(-1)
 
     def _exit(self, ctx: Activity, code: int) -> Generator:
-        yield from self._charge(400)
+        yield self.clock.cycles_to_ps(400)
         ctx.state = ActState.EXITED
         ctx.exit_code = code
         self._emit("act_exit", act=ctx.act_id)
@@ -386,14 +403,14 @@ class M3xMux:
             req: TmuxReq = msg.data
             ok, error = True, ""
             if req.op is TmuxOp.CREATE_ACT:
-                yield from self._charge(2000)
+                yield self.clock.cycles_to_ps(2000)
                 act: Activity = req.args["activity"]
                 api = M3xActivityApi(self, act)
                 act.gen = act.program(api)
                 act.state = ActState.READY
                 self.acts[act.act_id] = act
             elif req.op is TmuxOp.M3X_SAVE:
-                yield from self._charge(self.SAVE_CY)
+                yield self.clock.cycles_to_ps(self.SAVE_CY)
                 act = self.acts.get(req.args["act_id"])
                 if act is not None and act.state is ActState.RUNNING:
                     act.state = ActState.READY
@@ -450,7 +467,7 @@ class M3xController(Controller):
     def _handle_notify(self, msg) -> Generator:
         note: NotifyMsg = msg.data
         if note.kind is TmuxNotify.BLOCKED:
-            yield from self._charge(self.SYSCALL_BASE_CY)
+            yield self.clock.cycles_to_ps(self.SYSCALL_BASE_CY)
             yield from self.dtu.cmd_ack(1, msg)  # EP_NOTIFY
             yield from self._schedule_tile(note.args["tile"])
             return
@@ -474,7 +491,7 @@ class M3xController(Controller):
         ready = self._tile_ready.setdefault(tile, [])
         if not ready:
             return
-        yield from self._charge(self.M3X_SWITCH_CY)
+        yield self.clock.cycles_to_ps(self.M3X_SWITCH_CY)
         cur_id = self._tile_current.get(tile)
         if cur_id is not None:
             cur = self.acts[cur_id]
@@ -621,7 +638,7 @@ class M3xController(Controller):
         if self._is_current(act):
             yield from super()._install_ep(act, ep_id, endpoint)
             return
-        yield from self._charge(self.EXT_REQ_CY)
+        yield self.clock.cycles_to_ps(self.EXT_REQ_CY)
         self._snapshots.setdefault(act.act_id, {})[ep_id] = endpoint
 
     def _absorb_eps(self, act: Activity) -> Generator:
@@ -642,7 +659,7 @@ class M3xController(Controller):
     def _sys_forward(self, caller: int, args) -> Generator:
         """Deliver a message to a non-running activity (section 2.2):
         store it in the saved endpoint state and schedule the recipient."""
-        yield from self._charge(self.FORWARD_CY)
+        yield self.clock.cycles_to_ps(self.FORWARD_CY)
         dst = self._rgate_owner.get((args["dst_tile"], args["dst_ep"]))
         if dst is None:
             raise SyscallError("forward: unknown destination endpoint")

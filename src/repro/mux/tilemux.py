@@ -68,6 +68,15 @@ class TileMux:
         self.clock = costs.clock
         self.stats = stats if stats is not None else vdtu.stats
         self.timeslice_ps = round(timeslice_us * 1_000_000)
+        # hot-path charge constants: the clock never changes after init,
+        # and cycles_to_ps is linear, so these are exact
+        self._tmcall_enter_ps = self.clock.cycles_to_ps(
+            costs.trap_enter + costs.tmcall_dispatch)
+        self._trap_exit_ps = self.clock.cycles_to_ps(costs.trap_exit)
+        self._sched_pick_ps = self.clock.cycles_to_ps(costs.sched_pick)
+        self._timer_ps = self.clock.cycles_to_ps(costs.timer_program)
+        self._ctr_blocks = self.stats.counter("tilemux/blocks")
+        self._ctr_switches = self.stats.counter("tilemux/ctx_switches")
 
         # API flavour bound to activities at CREATE_ACT (the mediated
         # variant exists for the section-3.5 ablation)
@@ -80,6 +89,7 @@ class TileMux:
         self._pf_pending: Dict[int, Activity] = {}
         self._poll_waiters: list = []
         self._wake: Event = sim.event()
+        self._wake_waiting = False   # main loop is parked in _idle
         self.idle_ps = 0
         # fault-recovery policy (repro.mux.recovery); None = watchdog off
         # and no mux-level retransmission — the fault-free default
@@ -115,7 +125,10 @@ class TileMux:
     # ---------------------------------------------------------------- wiring
 
     def _on_irq(self) -> None:
-        if not self._wake.triggered:
+        # only schedule a wake event if the main loop is parked in _idle:
+        # core_req_pending stays set until serviced (it is re-checked
+        # before every wait), and an un-waited wake pop is pure queue load
+        if self._wake_waiting and not self._wake.triggered:
             self._wake.succeed()
         waiters, self._poll_waiters = self._poll_waiters, []
         for ev in waiters:
@@ -123,7 +136,7 @@ class TileMux:
                 ev.succeed()
 
     def _charge(self, cycles: int) -> Generator:
-        yield self.sim.timeout(self.clock.cycles_to_ps(cycles))
+        yield self.clock.cycles_to_ps(cycles)
 
     def _emit(self, kind: str, **fields) -> None:
         tracer = self.sim.tracer
@@ -144,7 +157,7 @@ class TileMux:
             yield from self._dispatch(ctx)
 
     def _pick(self) -> Generator:
-        yield from self._charge(self.costs.sched_pick)
+        yield self._sched_pick_ps
         metrics = self.sim.metrics
         if metrics is not None:
             metrics.sample(f"tile{self.tile_id}/tilemux/ready_q",
@@ -162,7 +175,9 @@ class TileMux:
         if self._wake.triggered:
             self._wake = self.sim.event()
         start = self.sim.now
+        self._wake_waiting = True
         yield self._wake
+        self._wake_waiting = False
         self.idle_ps += self.sim.now - start
 
     def _switch_vdtu(self, new_act: int, new_msgs: int) -> Generator:
@@ -187,8 +202,8 @@ class TileMux:
     def _dispatch(self, ctx: Activity) -> Generator:
         if self._last_dispatched is not ctx:
             switch_start = self.sim.now
-            yield from self._charge(self.costs.ctx_switch)
-            self.stats.counter("tilemux/ctx_switches").add()
+            yield self.clock.cycles_to_ps(self.costs.ctx_switch)
+            self._ctr_switches.add()
             self._last_dispatched = ctx
             yield from self._switch_vdtu(ctx.act_id, ctx.msgs)
             metrics = self.sim.metrics
@@ -204,10 +219,10 @@ class TileMux:
         ctx.state = ActState.RUNNING
         self.current = ctx
         ctx.slice_end = self.sim.now + self.timeslice_ps
-        yield from self._charge(self.costs.timer_program)
+        yield self._timer_ps
 
         run_start = self.sim.now
-        inject_val: Any = getattr(ctx, "_resume_value", None)
+        inject_val: Any = ctx._resume_value
         ctx._resume_value = None
         keep_running = True
         while keep_running:
@@ -215,7 +230,7 @@ class TileMux:
             if self.vdtu.core_req_pending:
                 yield from self._handle_core_reqs()
             if self.sim.now >= ctx.slice_end and self.ready:
-                yield from self._charge(self.costs.irq_entry
+                yield self.clock.cycles_to_ps(self.costs.irq_entry
                                         + self.costs.timer_program)
                 ctx.state = ActState.READY
                 ctx._resume_value = inject_val  # re-inject after preemption
@@ -231,7 +246,8 @@ class TileMux:
                 yield from self._exit(ctx, code=0)
                 break
             inject_val = None
-            if isinstance(item, Event):
+            if type(item) is int or isinstance(item, Event):
+                # ints are the engine's timeout fast path; forward as-is
                 inject_val = yield item
             elif isinstance(item, TmCall):
                 inject_val, keep_running = yield from self._tmcall(ctx, item)
@@ -277,21 +293,21 @@ class TileMux:
     def _tmcall(self, ctx: Activity, call: TmCall) -> Generator:
         """Returns (resume_value, keep_running)."""
         ctx.wd_slices = 0  # trapping at all counts as forward progress
-        yield from self._charge(self.costs.trap_enter + self.costs.tmcall_dispatch)
+        yield self._tmcall_enter_ps
         op = call.op
         if op == "block":
             # atomic check against the live CUR_ACT count: a message may
             # have arrived since the activity's last fetch
             if self.vdtu.cur_msgs > 0:
-                yield from self._charge(self.costs.trap_exit)
+                yield self._trap_exit_ps
                 return False, True  # not blocked; messages await
             if getattr(ctx, "_dev_kick", False):
                 ctx._dev_kick = False  # a device interrupt raced the trap
-                yield from self._charge(self.costs.trap_exit)
+                yield self._trap_exit_ps
                 return False, True
             ctx.state = ActState.BLOCKED
             self._emit("act_block", act=ctx.act_id)
-            self.stats.counter("tilemux/blocks").add()
+            self._ctr_blocks.add()
             return None, False
         if op == "yield":
             ctx.state = ActState.READY
@@ -312,12 +328,12 @@ class TileMux:
                                                      call.args["perm"])
             if blocked:
                 return None, False
-            yield from self._charge(self.costs.trap_exit)
+            yield self._trap_exit_ps
             return ok, True
         raise RuntimeError(f"unknown TMCall {op!r}")
 
     def _wake_after(self, ctx: Activity, deadline: int) -> Generator:
-        yield self.sim.timeout(max(0, deadline - self.sim.now))
+        yield max(0, deadline - self.sim.now)
         if ctx.state is ActState.BLOCKED:
             ctx.state = ActState.READY
             ctx.msgs = ctx.msgs  # counter untouched; just runnable again
@@ -326,7 +342,7 @@ class TileMux:
             self._on_irq()
 
     def _exit(self, ctx: Activity, code: int) -> Generator:
-        yield from self._charge(self.EXIT_CY)
+        yield self.clock.cycles_to_ps(self.EXIT_CY)
         ctx.state = ActState.EXITED
         ctx.exit_code = code
         self._emit("act_exit", act=ctx.act_id)
@@ -400,13 +416,13 @@ class TileMux:
     # -------------------------------------------------------- core requests
 
     def _handle_core_reqs(self) -> Generator:
-        yield from self._charge(self.costs.irq_entry)
+        yield self.clock.cycles_to_ps(self.costs.irq_entry)
         service_own = False
         while True:
             req = yield from self.vdtu.priv_fetch_core_req()
             if req is None:
                 break
-            yield from self._charge(self.costs.core_req_handle)
+            yield self.clock.cycles_to_ps(self.costs.core_req_handle)
             yield from self.vdtu.priv_ack_core_req()
             if req.act == ACT_TILEMUX:
                 service_own = True
@@ -453,7 +469,7 @@ class TileMux:
         req: TmuxReq = msg.data
         ok, error = True, ""
         if req.op is TmuxOp.CREATE_ACT:
-            yield from self._charge(self.CREATE_ACT_CY)
+            yield self.clock.cycles_to_ps(self.CREATE_ACT_CY)
             act: Activity = req.args["activity"]
             api = self.api_class(self, act)
             act.gen = act.program(api)
@@ -462,7 +478,7 @@ class TileMux:
             self.ready.append(act)
         elif req.op is TmuxOp.MAP:
             pages = req.args["pages"]
-            yield from self._charge(self.MAP_BASE_CY
+            yield self.clock.cycles_to_ps(self.MAP_BASE_CY
                                     + self.MAP_PER_PAGE_CY * pages)
             act = self.acts.get(req.args["act_id"])
             if act is None:
@@ -474,14 +490,14 @@ class TileMux:
                                            req.args["perm"])
         elif req.op is TmuxOp.UNMAP:
             pages = req.args["pages"]
-            yield from self._charge(self.MAP_BASE_CY)
+            yield self.clock.cycles_to_ps(self.MAP_BASE_CY)
             act = self.acts.get(req.args["act_id"])
             if act is not None:
                 for i in range(pages):
                     act.addrspace.unmap_page(req.args["virt_page"] + i)
                 self.vdtu.tlb.invalidate(act.act_id)
         elif req.op is TmuxOp.KILL_ACT:
-            yield from self._charge(self.EXIT_CY)
+            yield self.clock.cycles_to_ps(self.EXIT_CY)
             act = self.acts.pop(req.args["act_id"], None)
             if act is not None:
                 act.state = ActState.EXITED

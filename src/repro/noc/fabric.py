@@ -9,14 +9,31 @@ adds a per-hop latency.  Every tile attachment has a bounded input
 queue; when it fills up, deliveries stall the upstream link — this is
 the packet-based flow control that resolves vDTU core-request queue
 overruns (section 3.8 of the paper).
+
+Two transfer implementations share the same timing recurrence
+(``start = max(now, link.busy_until); busy_until = start + transfer;
+arrive = start + transfer + hop_latency``):
+
+* the **batched** path (default) reserves every link on the packet's
+  route eagerly at injection time and schedules a single arrival event,
+  so an n-hop transfer costs one queue entry instead of a Process plus
+  n timeout events;
+* the **lazy** path (``batch_hops=False`` or ``REPRO_NOC_BATCH=0``)
+  walks the route hop by hop in a generator Process, reserving each
+  link only when the packet reaches it.
+
+The two differ observably only when cross traffic claims a downstream
+link *while* a packet is mid-flight; the committed golden traces are
+byte-identical under both.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Generator, Optional, Tuple
 
-from repro.sim import Channel, Simulator
+from repro.sim import Channel, Event, Simulator
 from repro.sim.stats import StatRegistry
 from repro.noc.packet import Packet
 from repro.noc.topology import Topology
@@ -46,18 +63,56 @@ class _Link:
         self.busy_until = 0
 
 
+class _Arrival(Event):
+    """Batched-path arrival event: carries the in-flight packet state.
+
+    One instance replaces the per-packet transfer Process; the two
+    callback methods are bound methods of the event itself, so
+    injecting a packet allocates no closures.
+    """
+
+    __slots__ = ("fabric", "packet", "wire", "inbox")
+
+    def __init__(self, sim, fabric: "NocFabric", packet: Packet, wire: int):
+        Event.__init__(self, sim)
+        self.fabric = fabric
+        self.packet = packet
+        self.wire = wire
+        self.inbox: Optional[Channel] = None
+
+    def _arrive(self, _ev: Event) -> None:
+        """Packet reached the ejection port: enqueue (with backpressure)."""
+        inbox = self.inbox = self.fabric._inboxes[self.packet.dst]
+        # delivery completes when the put does — immediately if the
+        # inbox has room, or once a consumer drains a slot (backpressure)
+        inbox.put_then(self.packet, self._delivered)
+
+    def _delivered(self, _ev: Event) -> None:
+        self.fabric._delivered(self.packet, self.wire, self.inbox)
+
+
 class NocFabric:
     """Routes packets between tile attachments over a topology."""
 
     def __init__(self, sim: Simulator, topology: Topology,
                  params: Optional[NocParams] = None,
-                 stats: Optional[StatRegistry] = None):
+                 stats: Optional[StatRegistry] = None,
+                 batch_hops: Optional[bool] = None):
         self.sim = sim
         self.topology = topology
         self.params = params or NocParams()
         self.stats = stats or StatRegistry()
+        if batch_hops is None:
+            batch_hops = os.environ.get("REPRO_NOC_BATCH", "1") != "0"
+        self.batch_hops = batch_hops
+        # hoisted per-send constants (params is frozen after construction)
+        self._hop_ps = self.params.hop_latency_ps
+        self._bpn = self.params.bytes_per_ns
         self._links: Dict[Tuple[str, int, int], _Link] = {}
+        self._paths: Dict[Tuple[int, int], Tuple[_Link, ...]] = {}
         self._inboxes: Dict[int, Channel] = {}
+        self._ctr_packets = self.stats.counter("noc/packets")
+        self._ctr_bytes = self.stats.counter("noc/bytes")
         self._sinks: Dict[int, Callable[[Packet], None]] = {}
 
     # -- attachment -----------------------------------------------------------
@@ -81,19 +136,65 @@ class NocFabric:
     # -- transfer -------------------------------------------------------------
 
     def send(self, packet: Packet):
-        """Inject ``packet``; returns the delivery Process (an Event).
+        """Inject ``packet`` into the fabric.
 
-        The event fires once the packet has been enqueued at the
-        destination tile (i.e. accepted by its input queue).
+        On the lazy path this returns the delivery Process; on the
+        batched path delivery is driven by plain event callbacks and
+        ``None`` is returned.  No caller may rely on the return value.
         """
         if packet.dst not in self._inboxes:
             raise ValueError(f"destination tile {packet.dst} not attached")
-        tracer = self.sim.tracer
+        sim = self.sim
+        tracer = sim.tracer
         if tracer is not None:
-            tracer.emit(self.sim, "noc_inject", src=packet.src,
+            tracer.emit(sim, "noc_inject", src=packet.src,
                         dst=packet.dst, pkt=packet.kind.value,
                         size=packet.size, pid=packet.pid)
-        return self.sim.process(self._transfer(packet), name=f"pkt{packet.pid}")
+        if not self.batch_hops:
+            return sim.process(self._transfer(packet), name=f"pkt{packet.pid}")
+
+        # Batched fast path: reserve every link on the route now and
+        # schedule one arrival event at the accumulated time.
+        wire = packet.wire_size
+        bpn = self._bpn
+        transfer = (wire * PS_PER_NS + bpn - 1) // bpn
+        hop = self._hop_ps
+        t = sim.now
+        for link in self._path(packet.src, packet.dst):
+            start = link.busy_until
+            if start < t:
+                start = t
+            link.busy_until = start + transfer
+            t = start + transfer + hop
+        arrival = _Arrival(sim, self, packet, wire)
+        arrival.callbacks.append(arrival._arrive)
+        arrival.succeed(None, delay=t - sim.now)
+        return None
+
+    def _delivered(self, packet: Packet, wire: int, inbox: Channel) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, "noc_deliver", src=packet.src,
+                        dst=packet.dst, pkt=packet.kind.value,
+                        pid=packet.pid, qlen=len(inbox))
+        self._ctr_packets.add()
+        self._ctr_bytes.add(wire)
+
+    def _path(self, src: int, dst: int) -> Tuple[_Link, ...]:
+        """The route (injection, routers..., ejection) as cached links."""
+        key = (src, dst)
+        path = self._paths.get(key)
+        if path is None:
+            topo = self.topology
+            src_router = topo.router_of(src)
+            dst_router = topo.router_of(dst)
+            links = [self._link("inj", src, src_router)]
+            rpath = topo.router_path(src_router, dst_router)
+            for a, b in zip(rpath, rpath[1:]):
+                links.append(self._link("rtr", a, b))
+            links.append(self._link("ej", dst_router, dst))
+            path = self._paths[key] = tuple(links)
+        return path
 
     def _link(self, kind: str, a: int, b: int) -> _Link:
         key = (kind, a, b)
@@ -108,7 +209,7 @@ class NocFabric:
         start = max(now, link.busy_until)
         transfer = self.params.transfer_ps(wire_bytes)
         link.busy_until = start + transfer
-        yield self.sim.timeout(start - now + transfer + self.params.hop_latency_ps)
+        yield start - now + transfer + self.params.hop_latency_ps
 
     def _transfer(self, packet: Packet) -> Generator:
         topo = self.topology
@@ -131,8 +232,8 @@ class NocFabric:
             tracer.emit(self.sim, "noc_deliver", src=packet.src,
                         dst=packet.dst, pkt=packet.kind.value,
                         pid=packet.pid, qlen=len(inbox))
-        self.stats.counter("noc/packets").add()
-        self.stats.counter("noc/bytes").add(wire)
+        self._ctr_packets.add()
+        self._ctr_bytes.add(wire)
 
     # -- helpers ---------------------------------------------------------------
 

@@ -32,7 +32,7 @@ class PacketKind(enum.Enum):
     ERROR = "error"            # error response (e.g. no receive buffer)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One NoC packet.
 

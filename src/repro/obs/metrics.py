@@ -149,7 +149,7 @@ class MetricsRegistry:
         self.event_counts[cls] = self.event_counts.get(cls, 0) + 1
         now = sim.now
         if now >= self._evq_next:
-            self._evq_series.append((now, len(sim._heap)))
+            self._evq_series.append((now, len(sim._eq)))
             self._evq_next = now + self.evq_interval_ps
 
     # -- read paths ------------------------------------------------------------

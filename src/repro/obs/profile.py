@@ -30,6 +30,7 @@ _BUCKET_PREFIXES: Tuple[Tuple[str, str], ...] = (
     ("controller", "controller"),
     ("sleep", "workload"),
     ("linux", "linux"),
+    ("pkt", "noc"),
 )
 
 
@@ -89,11 +90,16 @@ class SelfProfiler:
         return self.events / wall if wall > 0 else 0.0
 
     def rows(self) -> List[Tuple[str, float, int, float]]:
-        """(bucket, wall_s, callbacks, share) sorted by wall_s desc."""
+        """(bucket, wall_s, callbacks, share) sorted by wall_s desc.
+
+        Equal wall times tie-break on the subsystem name so the table
+        is stable-sorted: byte-identical across runs with the same
+        measurements, usable in golden-style assertions.
+        """
         total = sum(w for w, _ in self.buckets.values()) or 1.0
         return sorted(((b, w, int(n), w / total)
                        for b, (w, n) in self.buckets.items()),
-                      key=lambda r: -r[1])
+                      key=lambda r: (-r[1], r[0]))
 
     def table(self) -> str:
         lines = [f"{'subsystem':<12} {'wall':>9} {'callbacks':>10} {'share':>7}"]

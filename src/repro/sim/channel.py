@@ -25,6 +25,9 @@ class Channel:
     ``capacity=None`` means unbounded (puts never block).
     """
 
+    __slots__ = ("sim", "capacity", "name", "_items", "_getters",
+                 "_putters", "_closed")
+
     def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -64,6 +67,24 @@ class Channel:
         else:
             self._putters.append((ev, item))
         return ev
+
+    def put_then(self, item: Any, callback) -> None:
+        """``put()`` and invoke ``callback(event)`` once delivery completes.
+
+        When the item is handed straight to a waiting getter, the
+        callback rides on the getter's event (which pops immediately
+        after the getter's own resume — exactly where the separate put
+        event would have popped, since both are appended back-to-back
+        at the same timestamp) instead of scheduling a second event.
+        The buffered and blocked (backpressure) cases fall back to the
+        two-event path.
+        """
+        if self._getters and not self._closed:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            getter.callbacks.append(callback)
+            return
+        self.put(item).callbacks.append(callback)
 
     def try_put(self, item: Any) -> bool:
         """Non-blocking put; returns False if the channel is full."""

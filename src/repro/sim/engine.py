@@ -1,19 +1,63 @@
 """The discrete-event simulation kernel.
 
 The design mirrors simpy's condition-free core: a :class:`Simulator` owns
-a priority queue of triggered events; a :class:`Process` wraps a Python
-generator and advances it each time an event it waited on fires.
+a queue of triggered events; a :class:`Process` wraps a Python generator
+and advances it each time an event it waited on fires.
 
 Time is a plain integer (we use picoseconds-free abstract "cycles" or
 nanoseconds depending on the embedding; the engine does not care).
+
+Scheduler
+---------
+
+Two event-queue implementations share one contract (pop strictly by
+timestamp, FIFO among events scheduled for the same instant):
+
+* :class:`CalendarEventQueue` (default) — a calendar queue: a dict
+  mapping each distinct timestamp to a list of events in enqueue order,
+  plus a min-heap of the distinct timestamps.  Platform workloads
+  schedule many events per instant (MMIO charges, DMA completions and
+  NoC hops all quantize to the same picosecond grid), so the heap
+  shrinks from one entry per *event* to one entry per *distinct time*,
+  and no ``(time, seq, event)`` tuple is allocated per enqueue.
+* :class:`HeapEventQueue` — the original global ``heapq`` ordered by
+  ``(time, seq)`` with a monotone sequence counter.  Kept as the
+  reference implementation for differential testing
+  (``tests/test_engine_equivalence.py``).
+
+Both produce the same pop order: the sequence counter is assigned in
+enqueue order, so within one timestamp the heap's seq order equals the
+calendar bucket's append order.  This tie-order invariant is what keeps
+the committed golden trace digests byte-identical across schedulers
+(DESIGN.md section 13).
+
+Select with ``Simulator(scheduler="heap")``, the ``REPRO_SCHEDULER``
+environment variable, or :func:`set_default_scheduler`.
+
+Fast paths
+----------
+
+* A process may ``yield <int>`` to sleep that many time units: the
+  engine reuses one pre-allocated per-process tick event instead of
+  constructing a :class:`Timeout` per sleep.  ``yield None`` is the
+  ``yield 0`` cooperative yield.  Both consume exactly one queue entry
+  at the same instant as the equivalent ``yield sim.timeout(n)``, so
+  traces are unchanged.
+* ``run``/``run_until_event`` pick a specialized drain loop per call:
+  with tracer, metrics and profiler all ``None`` (the default) the loop
+  inlines the calendar queue and touches no hook, so the all-off cost
+  is a single attribute check per *run call* instead of a chain of
+  ``if`` guards per event.  Hooked runs use a loop with the hook
+  objects hoisted into locals.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from time import perf_counter as _perf_counter
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -64,6 +108,148 @@ def set_default_profiler(profiler) -> None:
     _default_profiler = profiler
 
 
+# Process-global count of events processed across all simulators; the
+# bench harness (repro.bench) reads deltas of this to compute events/sec
+# without installing any per-step hook.
+_events_processed = 0
+
+
+def events_processed() -> int:
+    """Total simulator events processed in this interpreter."""
+    return _events_processed
+
+
+# -- event queues -------------------------------------------------------------
+
+class HeapEventQueue:
+    """Reference scheduler: one ``(time, seq, event)`` heap entry per event.
+
+    The monotone ``seq`` breaks same-time ties in enqueue order; this is
+    the original implementation and the ground truth the calendar queue
+    is differentially tested against.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    name = "heap"
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, "Event"]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, when: int, event: "Event") -> None:
+        heapq.heappush(self._heap, (when, next(self._seq), event))
+
+    def pop(self) -> Tuple[int, "Event"]:
+        when, _, event = heapq.heappop(self._heap)
+        return when, event
+
+    def peek(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+
+class CalendarEventQueue:
+    """Calendar queue: per-timestamp buckets + a heap of distinct times.
+
+    ``_buckets`` maps an absolute timestamp to the events scheduled for
+    it — a bare event while the instant holds one (the common case:
+    ~64% of fig9's timestamps are singletons), upgraded to a list in
+    enqueue order on the first collision.  ``_times`` is a min-heap of
+    the distinct timestamps present.  ``_head`` is the drain index into
+    the minimum list bucket (only the minimum bucket is ever partially
+    drained — events cannot be scheduled in the past, so earlier
+    buckets cannot appear).  List buckets are removed lazily once
+    drained, which keeps the queue coherent even if an event callback
+    raises mid-bucket; singletons are removed eagerly at pop.
+    """
+
+    __slots__ = ("_buckets", "_times", "_head", "_len")
+
+    name = "calendar"
+
+    def __init__(self) -> None:
+        self._buckets: dict = {}
+        self._times: List[int] = []
+        self._head = 0
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def push(self, when: int, event: "Event") -> None:
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = event
+            heapq.heappush(self._times, when)
+        elif type(bucket) is list:
+            bucket.append(event)
+        else:
+            self._buckets[when] = [bucket, event]
+        self._len += 1
+
+    def pop(self) -> Tuple[int, "Event"]:
+        times = self._times
+        buckets = self._buckets
+        while True:
+            when = times[0]
+            bucket = buckets[when]
+            if type(bucket) is not list:
+                del buckets[when]
+                heapq.heappop(times)
+                self._len -= 1
+                return when, bucket
+            head = self._head
+            if head < len(bucket):
+                self._head = head + 1
+                self._len -= 1
+                return when, bucket[head]
+            # minimum bucket fully drained: retire it and look again
+            del buckets[when]
+            heapq.heappop(times)
+            self._head = 0
+
+    def peek(self) -> Optional[int]:
+        times = self._times
+        buckets = self._buckets
+        while times:
+            when = times[0]
+            bucket = buckets[when]
+            if type(bucket) is not list or self._head < len(bucket):
+                return when
+            del buckets[when]
+            heapq.heappop(times)
+            self._head = 0
+        return None
+
+
+_SCHEDULERS = {"calendar": CalendarEventQueue, "heap": HeapEventQueue}
+
+DEFAULT_SCHEDULER = "calendar"
+_default_scheduler = os.environ.get("REPRO_SCHEDULER", "") or DEFAULT_SCHEDULER
+
+
+def set_default_scheduler(name: Optional[str]) -> None:
+    """Select the event queue for new Simulators ("calendar" or "heap").
+
+    ``None`` restores the built-in default (or ``REPRO_SCHEDULER``).
+    """
+    global _default_scheduler
+    if name is None:
+        name = os.environ.get("REPRO_SCHEDULER", "") or DEFAULT_SCHEDULER
+    if name not in _SCHEDULERS:
+        raise ValueError(f"unknown scheduler {name!r} "
+                         f"(choose from {sorted(_SCHEDULERS)})")
+    _default_scheduler = name
+
+
+def default_scheduler() -> str:
+    """The scheduler new Simulators get ("calendar" or "heap")."""
+    return _default_scheduler
+
+
 class Event:
     """A one-shot occurrence that processes can wait on.
 
@@ -104,11 +290,28 @@ class Event:
 
     def succeed(self, value: Any = None, delay: int = 0) -> "Event":
         """Trigger the event successfully with an optional ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._value = value
         self._ok = True
-        self.sim._enqueue(self, delay)
+        sim = self.sim
+        eq = sim._eq
+        if eq.__class__ is CalendarEventQueue:
+            # inlined CalendarEventQueue.push — succeed() is the hottest
+            # scheduling entry point (every channel op and callback chain)
+            when = sim.now + delay
+            buckets = eq._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = self
+                heapq.heappush(eq._times, when)
+            elif bucket.__class__ is list:
+                bucket.append(self)
+            else:
+                buckets[when] = [bucket, self]
+            eq._len += 1
+        else:
+            eq.push(sim.now + delay, self)
         return self
 
     def fail(self, exception: BaseException, delay: int = 0) -> "Event":
@@ -118,13 +321,14 @@ class Event:
         process waits, the simulator raises it at the end of the step
         (unless :meth:`defuse` was called).
         """
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() needs an exception instance")
         self._value = exception
         self._ok = False
-        self.sim._enqueue(self, delay)
+        sim = self.sim
+        sim._eq.push(sim.now + delay, self)
         return self
 
     def defuse(self) -> None:
@@ -150,7 +354,7 @@ class Timeout(Event):
         self.delay = delay
         self._value = value
         self._ok = True
-        sim._enqueue(self, delay)
+        sim._eq.push(sim.now + delay, self)
 
 
 class Process(Event):
@@ -160,21 +364,27 @@ class Process(Event):
 
     * an :class:`Event` — the process resumes when it triggers, receiving
       its value (or having its exception raised inside the generator).
+    * an ``int`` — sleep that many time units (equivalent to yielding
+      ``sim.timeout(n)``, without allocating a Timeout).
     * ``None`` — the process resumes on the next simulator step (a
       cooperative yield at the current time).
     """
 
-    __slots__ = ("gen", "name", "_target", "_resume_handle")
+    __slots__ = ("gen", "name", "_target", "_resume_handle", "_tick",
+                 "_tick_cbs")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None):
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", None) or repr(gen)
-        self._target: Optional[Event] = None
-        # bootstrap: resume on next step
-        boot = Event(sim)
-        boot.succeed(None)
-        self._wait_on(boot)
+        # bootstrap: resume on the next step via the reusable tick event
+        tick = Event(sim)
+        tick._value = None
+        tick.callbacks.append(self._resume)
+        self._tick = tick
+        self._tick_cbs = tick.callbacks
+        self._target: Optional[Event] = tick
+        sim._eq.push(sim.now, tick)
 
     @property
     def is_alive(self) -> bool:
@@ -215,7 +425,8 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self._target = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
             if event._ok:
                 result = self.gen.send(event._value)
@@ -223,33 +434,87 @@ class Process(Event):
                 event._defused = True
                 result = self.gen.throw(event._value)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.sim._active_process = None
+            sim._active_process = None
             self.fail(exc)
             return
-        self.sim._active_process = None
+        sim._active_process = None
 
-        if result is None:
-            result = Timeout(self.sim, 0)
-        if not isinstance(result, Event):
-            raise SimulationError(
-                f"process {self.name!r} yielded {result!r}, expected Event or None"
-            )
-        if result.sim is not self.sim:
-            raise SimulationError("yielded event belongs to another simulator")
-        self._wait_on(result)
+        if type(result) is int:
+            delay = result
+            if delay < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {delay}")
+        elif result is None:
+            delay = 0
+        else:
+            if not isinstance(result, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded {result!r}, "
+                    f"expected Event, int or None"
+                )
+            if result.sim is not sim:
+                raise SimulationError("yielded event belongs to another simulator")
+            self._wait_on(result)
+            return
+
+        # int / None fast path: sleep on the reusable tick event.  Safe to
+        # reuse only once the previous incarnation left the queue
+        # (_processed); an interrupt can orphan a still-queued tick, in
+        # which case a fresh event replaces it.
+        tick = self._tick
+        if tick._processed:
+            tick._value = None
+            tick._ok = True
+            tick._processed = False
+            tick._defused = False
+            # the callback list survives pops untouched (drain loops
+            # detach it before running it); an interrupt() may have
+            # emptied it via remove(), so top it back up
+            cbs = self._tick_cbs
+            if not cbs:
+                cbs.append(self._resume)
+            tick.callbacks = cbs
+        else:
+            tick = Event(sim)
+            tick._value = None
+            tick.callbacks.append(self._resume)
+            self._tick = tick
+            self._tick_cbs = tick.callbacks
+        self._target = tick
+        eq = sim._eq
+        when = sim.now + delay
+        if eq.__class__ is CalendarEventQueue:
+            # inlined CalendarEventQueue.push — every process tick lands here
+            buckets = eq._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = tick
+                heapq.heappush(eq._times, when)
+            elif bucket.__class__ is list:
+                bucket.append(tick)
+            else:
+                buckets[when] = [bucket, tick]
+            eq._len += 1
+        else:
+            eq.push(when, tick)
 
 
 class Simulator:
-    """The event loop.  Owns simulated time and the pending-event heap."""
+    """The event loop.  Owns simulated time and the pending-event queue."""
 
-    def __init__(self, start: int = 0):
+    def __init__(self, start: int = 0, scheduler: Optional[str] = None):
         self.now: int = start
-        self._heap: List = []
-        self._seq = itertools.count()
+        self.scheduler = scheduler or _default_scheduler
+        try:
+            self._eq = _SCHEDULERS[self.scheduler]()
+        except KeyError:
+            raise SimulationError(
+                f"unknown scheduler {self.scheduler!r} "
+                f"(choose from {sorted(_SCHEDULERS)})") from None
         self._active_process: Optional[Process] = None
         self.tracer = _default_tracer
         self.trace_id = (_default_tracer.register_sim()
@@ -325,12 +590,14 @@ class Simulator:
     # -- scheduling ----------------------------------------------------------
 
     def _enqueue(self, event: Event, delay: int) -> None:
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+        self._eq.push(self.now + delay, event)
 
     def step(self) -> None:
-        """Process the next triggered event."""
-        when, _, event = heapq.heappop(self._heap)
+        """Process the next triggered event (single-step API)."""
+        global _events_processed
+        when, event = self._eq.pop()
         self.now = when
+        _events_processed += 1
         tracer = self.tracer
         if tracer is not None:
             tracer.emit(self, "evq_pop", cls=type(event).__name__)
@@ -355,15 +622,15 @@ class Simulator:
             raise event._value
 
     def run(self, until: Optional[int] = None) -> None:
-        """Run until the heap drains or simulated time reaches ``until``."""
+        """Run until the queue drains or simulated time reaches ``until``."""
         if until is not None and until < self.now:
             raise SimulationError(f"until={until} lies in the past (now={self.now})")
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
-                self.now = until
-                return
-            self.step()
+        if (self.tracer is None and self.metrics is None
+                and self.profiler is None
+                and type(self._eq) is CalendarEventQueue):
+            self._run_plain(until)
+        else:
+            self._run_hooked(until)
         if until is not None:
             self.now = until
 
@@ -372,18 +639,225 @@ class Simulator:
 
         ``limit`` guards against runaway simulations.
         """
-        while not event.triggered:
-            if not self._heap:
-                raise SimulationError("simulation starved before event triggered")
-            if limit is not None and self._heap[0][0] > limit:
-                raise SimulationError(f"event did not trigger before t={limit}")
-            self.step()
+        if event._value is _PENDING:
+            if (self.tracer is None and self.metrics is None
+                    and self.profiler is None
+                    and type(self._eq) is CalendarEventQueue):
+                self._run_until_plain(event, limit)
+            else:
+                self._run_until_hooked(event, limit)
         if not event._ok:
             event._defused = True
             raise event._value
         return event._value
 
+    # -- drain loops ---------------------------------------------------------
+    #
+    # Four specializations of one loop.  The *plain* pair runs with
+    # tracer/metrics/profiler all None and the calendar queue, inlining
+    # the queue internals; the *hooked* pair hoists the hook objects
+    # into locals and works against any queue via peek/pop.  All of
+    # them process an event exactly like step().
+
+    def _run_plain(self, until: Optional[int]) -> None:
+        # The queue's _head/_len are only read by pop()/peek()/len(), none
+        # of which can run while this loop owns the queue (hooks are off),
+        # so both are maintained in locals and written back on exit.
+        global _events_processed
+        q = self._eq
+        buckets = q._buckets
+        times = q._times
+        pop_time = heapq.heappop
+        head = q._head
+        n = 0
+        try:
+            while times:
+                when = times[0]
+                bucket = buckets[when]
+                if type(bucket) is not list:
+                    if until is not None and when > until:
+                        return
+                    self.now = when
+                    del buckets[when]
+                    pop_time(times)
+                    event = bucket
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    n += 1
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    continue
+                if head >= len(bucket):
+                    del buckets[when]
+                    pop_time(times)
+                    head = 0
+                    continue
+                if until is not None and when > until:
+                    return
+                self.now = when
+                while head < len(bucket):
+                    event = bucket[head]
+                    head += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    n += 1
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                del buckets[when]
+                pop_time(times)
+                head = 0
+        finally:
+            q._head = head
+            q._len -= n
+            _events_processed += n
+
+    def _run_until_plain(self, ev: Event, limit: Optional[int]) -> None:
+        global _events_processed
+        q = self._eq
+        buckets = q._buckets
+        times = q._times
+        pop_time = heapq.heappop
+        pending = _PENDING
+        head = q._head
+        n = 0
+        try:
+            while ev._value is pending:
+                if not times:
+                    raise SimulationError(
+                        "simulation starved before event triggered")
+                when = times[0]
+                bucket = buckets[when]
+                if type(bucket) is not list:
+                    if limit is not None and when > limit:
+                        raise SimulationError(
+                            f"event did not trigger before t={limit}")
+                    self.now = when
+                    del buckets[when]
+                    pop_time(times)
+                    event = bucket
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    n += 1
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    continue
+                if head >= len(bucket):
+                    del buckets[when]
+                    pop_time(times)
+                    head = 0
+                    continue
+                if limit is not None and when > limit:
+                    raise SimulationError(f"event did not trigger before t={limit}")
+                self.now = when
+                while head < len(bucket):
+                    event = bucket[head]
+                    head += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    n += 1
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if ev._value is not pending:
+                        return
+                del buckets[when]
+                pop_time(times)
+                head = 0
+        finally:
+            q._head = head
+            q._len -= n
+            _events_processed += n
+
+    def _run_hooked(self, until: Optional[int]) -> None:
+        global _events_processed
+        q = self._eq
+        tracer = self.tracer
+        metrics = self.metrics
+        profiler = self.profiler
+        clock = _perf_counter
+        n = 0
+        try:
+            while True:
+                when = q.peek()
+                if when is None or (until is not None and when > until):
+                    return
+                when, event = q.pop()
+                self.now = when
+                n += 1
+                if tracer is not None:
+                    tracer.emit(self, "evq_pop", cls=type(event).__name__)
+                if metrics is not None:
+                    metrics.on_step(self, event)
+                callbacks, event.callbacks = event.callbacks, None
+                event._processed = True
+                if profiler is None:
+                    for callback in callbacks:
+                        callback(event)
+                else:
+                    profiler.on_step()
+                    for callback in callbacks:
+                        t0 = clock()
+                        callback(event)
+                        profiler.record(getattr(callback, "__self__", None),
+                                        clock() - t0)
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            _events_processed += n
+
+    def _run_until_hooked(self, ev: Event, limit: Optional[int]) -> None:
+        global _events_processed
+        q = self._eq
+        tracer = self.tracer
+        metrics = self.metrics
+        profiler = self.profiler
+        clock = _perf_counter
+        pending = _PENDING
+        n = 0
+        try:
+            while ev._value is pending:
+                when = q.peek()
+                if when is None:
+                    raise SimulationError(
+                        "simulation starved before event triggered")
+                if limit is not None and when > limit:
+                    raise SimulationError(f"event did not trigger before t={limit}")
+                when, event = q.pop()
+                self.now = when
+                n += 1
+                if tracer is not None:
+                    tracer.emit(self, "evq_pop", cls=type(event).__name__)
+                if metrics is not None:
+                    metrics.on_step(self, event)
+                callbacks, event.callbacks = event.callbacks, None
+                event._processed = True
+                if profiler is None:
+                    for callback in callbacks:
+                        callback(event)
+                else:
+                    profiler.on_step()
+                    for callback in callbacks:
+                        t0 = clock()
+                        callback(event)
+                        profiler.record(getattr(callback, "__self__", None),
+                                        clock() - t0)
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            _events_processed += n
+
     @property
     def peek(self) -> Optional[int]:
-        """Time of the next pending event, or None if the heap is empty."""
-        return self._heap[0][0] if self._heap else None
+        """Time of the next pending event, or None if the queue is empty."""
+        return self._eq.peek()

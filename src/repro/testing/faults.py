@@ -58,7 +58,7 @@ class NocJitter:
                 delay = rng.randrange(1, self.max_delay_ps)
 
                 def _held():
-                    yield sim.timeout(delay)
+                    yield delay
                     orig_send(packet)
 
                 return sim.process(_held(), name=f"jitter-pkt{packet.pid}")
@@ -93,7 +93,7 @@ class TlbPressure:
 
     def _shed(self, sim, rng, deadline, tlb):
         while sim.now < deadline:
-            yield sim.timeout(rng.randrange(1, self.shed_gap_ps))
+            yield rng.randrange(1, self.shed_gap_ps)
             entries = [e for e in tlb._entries.values() if not e.pinned]
             if entries:
                 victim = entries[rng.randrange(len(entries))]
@@ -122,7 +122,7 @@ class ForcedPreemption:
 
     def _expire(self, sim, rng, deadline, mux):
         while sim.now < deadline:
-            yield sim.timeout(rng.randrange(1, 2 * self.mean_gap_ps))
+            yield rng.randrange(1, 2 * self.mean_gap_ps)
             ctx = mux.current
             if ctx is not None and ctx.slice_end > sim.now:
                 ctx.slice_end = sim.now

@@ -68,9 +68,8 @@ class StreamAccelerator:
                 continue
             data = msg.data if isinstance(msg.data, (bytes, bytearray)) \
                 else bytes(msg.size)
-            yield self.sim.timeout(self.setup_ns * PS_PER_NS
-                                   + round(len(data) / self.bytes_per_ns)
-                                   * PS_PER_NS)
+            yield (self.setup_ns * PS_PER_NS
+                   + round(len(data) / self.bytes_per_ns) * PS_PER_NS)
             result = self.logic(bytes(data))
             yield from self.dtu.cmd_ack(EP_IN, msg)
             out = self.dtu.eps[EP_OUT]

@@ -78,7 +78,7 @@ class EthernetWire:
                          name="eth-frame")
 
     def _deliver(self, frame: EthFrame, up: bool, delay: int):
-        yield self.sim.timeout(delay)
+        yield delay
         sink = self.to_host if up else self.to_device
         if sink is not None:
             sink(frame)
@@ -148,7 +148,7 @@ class RemoteHost:
         self.sim.process(self._handle(frame), name="remote-host")
 
     def _handle(self, frame: EthFrame):
-        yield self.sim.timeout(self.proc_ps)
+        yield self.proc_ps
         if frame.dst_port in self.echo_ports:
             self.wire.transmit(EthFrame(payload=frame.payload,
                                         size=frame.size,

@@ -235,15 +235,89 @@ def test_yield_none_is_cooperative_yield():
     assert ("a", 2, 0) in trace and ("b", 2, 0) in trace
 
 
-def test_yield_garbage_raises():
+def test_yield_int_is_timeout_fast_path():
+    sim = Simulator()
+    done = []
+
+    def proc():
+        yield 10
+        done.append(sim.now)
+        yield 0
+        done.append(sim.now)
+        yield 5
+        done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert done == [10, 10, 15]
+
+
+def test_yield_negative_int_raises():
     sim = Simulator()
 
     def bad():
-        yield 12345
+        yield -3
 
     sim.process(bad())
     with pytest.raises(SimulationError):
         sim.run()
+
+
+def test_yield_garbage_raises():
+    sim = Simulator()
+
+    def bad():
+        yield "not an event"
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_yield_int_interleaves_like_timeout():
+    # int sleeps and Timeout sleeps must share one FIFO tie order
+    sim = Simulator()
+    order = []
+
+    def via_int(tag):
+        yield 5
+        order.append(tag)
+
+    def via_timeout(tag):
+        yield sim.timeout(5)
+        order.append(tag)
+
+    sim.process(via_timeout("t0"))
+    sim.process(via_int("i0"))
+    sim.process(via_timeout("t1"))
+    sim.process(via_int("i1"))
+    sim.run()
+    assert order == ["t0", "i0", "t1", "i1"]
+
+
+def test_interrupt_then_int_sleep_survives_stale_tick():
+    # an interrupt orphans the queued tick event; the next int sleep
+    # must not be woken by the stale pop
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield 1000
+        except Interrupt:
+            log.append(("irq", sim.now))
+        yield 500
+        log.append(("slept", sim.now))
+
+    proc = sim.process(sleeper())
+
+    def interrupter():
+        yield 50
+        proc.interrupt()
+
+    sim.process(interrupter())
+    sim.run()
+    assert log == [("irq", 50), ("slept", 550)]
 
 
 def test_run_until_time_pauses_simulation():
