@@ -10,13 +10,14 @@ trend that motivates a millisecond-scale slice.
 
 from conftest import paper_scale, print_table
 
+from repro.api import SystemConfig, build_system
 from repro.core.exps.common import fpga_config, rendezvous
-from repro.core.platform import build_m3v
 
 
 def measure(timeslice_us: float, spin_chunks: int) -> float:
     """Two spinners co-located; returns total makespan in ms."""
-    plat = build_m3v(fpga_config(timeslice_us=timeslice_us))
+    plat = build_system(SystemConfig.from_platform(
+        "m3v", fpga_config(timeslice_us=timeslice_us)))
     done = []
 
     def spinner(api):

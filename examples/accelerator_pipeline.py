@@ -14,7 +14,7 @@ Run:  python examples/accelerator_pipeline.py
 
 import numpy as np
 
-from repro.core import PlatformConfig, build_m3v
+from repro.api import SystemConfig, build_system
 from repro.dtu.dtu import Dtu
 from repro.noc.topology import StarMeshTopology
 from repro.tiles.accelerator import EP_IN, StreamAccelerator
@@ -40,7 +40,8 @@ def ifft_logic(data: bytes) -> bytes:
 
 
 def main() -> None:
-    plat = build_m3v(PlatformConfig(n_proc_tiles=4, n_mem_tiles=1))
+    plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=4,
+                                     n_mem_tiles=1))
     sim = plat.sim
 
     # three accelerator tiles, attached to the same NoC

@@ -3,7 +3,7 @@
 
 Demonstrates the core public API:
 
-* :func:`repro.core.build_m3v` assembles tiles, NoC, vDTUs, TileMux
+* :func:`repro.api.build_system` assembles tiles, NoC, vDTUs, TileMux
   instances and the controller;
 * activities are generator programs spawned through the controller;
 * communication channels are capability-backed DTU endpoints;
@@ -13,11 +13,12 @@ Demonstrates the core public API:
 Run:  python examples/quickstart.py
 """
 
-from repro.core import PlatformConfig, build_m3v
+from repro.api import SystemConfig, build_system
 
 
 def main() -> None:
-    plat = build_m3v(PlatformConfig(n_proc_tiles=4, n_mem_tiles=1))
+    plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=4,
+                                     n_mem_tiles=1))
     env = {}
     results = {}
 

@@ -10,27 +10,42 @@ and EXPERIMENTS.md for paper-vs-measured results.
 
 Entry points:
 
-* :func:`repro.core.build_m3v` / :func:`repro.core.build_m3x` —
-  assemble platforms;
+* :func:`repro.api.build_system` — assemble any platform through the
+  facade (:func:`repro.core.build_m3v` / ``build_m3x`` remain as
+  deprecated shims);
 * :mod:`repro.core.exps` — one experiment runner per table/figure;
 * :mod:`repro.linuxsim` — the Linux baseline machine.
+
+The legacy re-exports below resolve lazily (PEP 562) so that cheap
+entry points — ``repro --version``, ``repro lint`` — never pay for the
+platform stack's import time.
 """
 
-from repro.core import (
-    M3vPlatform,
-    M3xPlatform,
-    PlatformConfig,
-    build_m3v,
-    build_m3x,
-)
+from typing import TYPE_CHECKING
 
-__version__ = "1.0.0"
+if TYPE_CHECKING:  # static-analysis view of the lazy exports
+    from repro.core import (  # noqa: F401
+        M3vPlatform,
+        M3xPlatform,
+        PlatformConfig,
+        build_m3v,
+        build_m3x,
+    )
 
-__all__ = [
-    "M3vPlatform",
-    "M3xPlatform",
-    "PlatformConfig",
-    "build_m3v",
-    "build_m3x",
-    "__version__",
-]
+__version__ = "1.1.0"
+
+_LAZY_EXPORTS = ("M3vPlatform", "M3xPlatform", "PlatformConfig",
+                 "build_m3v", "build_m3x")
+
+__all__ = [*_LAZY_EXPORTS, "__version__"]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        from repro import core
+        return getattr(core, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,71 @@
+"""``repro.analysis`` — a determinism & sim-concurrency static analyzer.
+
+The whole reproduction rests on byte-identical determinism (golden
+trace digests, exact-event-count perf gates) and on subtle
+sim-concurrency protocols (the section 3.7 lost-wakeup race the M3v
+design avoids).  None of those properties are visible to a generic
+linter: one unordered ``set`` iteration feeding the event queue, one
+stray ``random.random()`` outside the seeded plumbing, or one
+``id()``-based tie-break silently breaks every golden digest.  This
+package is an AST-based linter purpose-built for this codebase; it
+runs as ``repro lint`` and as a hard CI gate
+(``scripts/check_lint.sh``).
+
+Rule families
+-------------
+
+========  ============================================================
+REP001    determinism hazards: unordered ``set``/``frozenset``/dict
+          iteration in sim-critical modules, nondeterministic sources
+          (``random``/``time``/``uuid``/``os.urandom``) outside the
+          sanctioned host-side modules, ``id()``/``hash()`` ordering,
+          float arithmetic flowing into simulated-time scheduling
+REP002    sim-concurrency hazards: yielding non-``Event``/int values
+          from process generators, double ``Event.succeed``/``fail``
+          on one static path, non-generator callables passed to
+          ``Simulator.process``, blocking host calls inside process
+          bodies
+REP003    layering: upward imports against the package layer order,
+          and experiments bypassing the ``repro.api`` facade
+========  ============================================================
+
+Suppression and baselining
+--------------------------
+
+A finding on a line carrying ``# repro: noqa[REP001]`` (or a bare
+``# repro: noqa``) is suppressed.  Findings recorded in the committed
+``lint_baseline.json`` are *grandfathered*: the gate fails only on
+findings not covered by the baseline, so the tree can be cleaned
+incrementally without ever regressing.  See DESIGN.md section 14.
+"""
+
+from repro.analysis.baseline import (
+    baseline_entries,
+    diff_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import (
+    DEFAULT_TARGETS,
+    Finding,
+    LintContext,
+    all_rules,
+    collect_files,
+    run_lint,
+)
+from repro.analysis.report import findings_to_json, format_human
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "Finding",
+    "LintContext",
+    "all_rules",
+    "baseline_entries",
+    "collect_files",
+    "diff_against_baseline",
+    "findings_to_json",
+    "format_human",
+    "load_baseline",
+    "run_lint",
+    "write_baseline",
+]

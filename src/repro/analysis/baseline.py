@@ -1,0 +1,85 @@
+"""Grandfathered-findings baseline for the lint gate.
+
+``lint_baseline.json`` is committed at the repo root and maps finding
+keys (:meth:`repro.analysis.core.Finding.key`, which deliberately
+excludes line numbers) to occurrence counts.  The CI gate fails only
+on findings *not* covered by the baseline, so the tree is ratcheted:
+existing debt is frozen, new debt is rejected, and deleting an entry
+once fixed shrinks the file monotonically.
+
+Schema (``repro-lint-baseline/1``)::
+
+    {
+      "schema": "repro-lint-baseline/1",
+      "entries": { "<rule>::<check>::<path>::<symbol>": <count>, ... }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.core import Finding
+
+SCHEMA = "repro-lint-baseline/1"
+DEFAULT_BASELINE = "lint_baseline.json"
+
+__all__ = ["DEFAULT_BASELINE", "SCHEMA", "baseline_entries",
+           "diff_against_baseline", "load_baseline", "write_baseline"]
+
+
+def baseline_entries(findings: Iterable[Finding]) -> Dict[str, int]:
+    """Baseline entry dict for ``findings`` (key -> count)."""
+    return dict(sorted(Counter(f.key() for f in findings).items()))
+
+
+def load_baseline(path: "str | Path") -> Dict[str, int]:
+    """Entries of the baseline file; empty when the file is absent."""
+    p = Path(path)
+    if not p.exists():
+        return {}
+    with open(p) as fh:
+        data = json.load(fh)
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"{p}: unknown baseline schema "
+                         f"{data.get('schema')!r} (expected {SCHEMA})")
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"{p}: 'entries' must be an object")
+    return {str(k): int(v) for k, v in entries.items()}
+
+
+def write_baseline(path: "str | Path", findings: Iterable[Finding]) -> Path:
+    p = Path(path)
+    payload = {"schema": SCHEMA, "entries": baseline_entries(findings)}
+    with open(p, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return p
+
+
+def diff_against_baseline(
+        findings: List[Finding],
+        baseline: Dict[str, int]) -> Tuple[List[Finding], List[str]]:
+    """Split findings into (new, stale-baseline-keys).
+
+    A finding is *new* when its key's occurrence count exceeds the
+    baselined count.  Keys present in the baseline but no longer
+    produced are *stale* — the debt was paid and the entry should be
+    deleted (``repro lint --write-baseline`` does this).
+    """
+    budget = dict(baseline)
+    new: List[Finding] = []
+    for f in findings:
+        key = f.key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            new.append(f)
+    current = Counter(f.key() for f in findings)
+    stale = sorted(k for k, n in baseline.items()
+                   if current.get(k, 0) < n)
+    return new, stale

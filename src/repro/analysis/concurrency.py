@@ -1,0 +1,272 @@
+"""REP002 — sim-concurrency hazards.
+
+The engine (:mod:`repro.sim.engine`) catches most of these at runtime,
+but only on the path actually executed; a rarely-taken branch that
+yields a string or re-triggers an event survives every test until a
+workload finds it.  Four sub-checks:
+
+``bad-yield``
+    A process generator yields a constant that is not an ``Event``,
+    ``int`` or ``None`` (the only things the engine accepts): strings,
+    floats, bytes, or container literals.  ``yield 2.5`` reads like
+    "sleep 2.5 units" but raises ``SimulationError`` mid-simulation.
+
+``double-trigger``
+    ``Event.succeed()``/``fail()`` called twice on the same name along
+    one straight-line statement sequence.  An event triggers exactly
+    once; the second call raises — and if the first call's callback
+    chain already ran, the damage (a lost wakeup's mirror image) is
+    unrecoverable.  The check is conservative: only top-level calls in
+    the same statement list count, so ``if/else`` arms never
+    interfere.
+
+``nongen-process``
+    A non-generator callable handed to ``Simulator.process(...)`` /
+    ``sim.process(...)``: a lambda (lambdas cannot contain ``yield``)
+    or a function defined in the same file without any ``yield``.
+    ``process`` needs an *already-called* generator; passing a plain
+    callable fails only when the process is first resumed.
+
+``blocking-call``
+    Host-blocking operations inside a process generator: ``time.sleep``
+    (stalls the host, not simulated time), builtin ``open``/``input``,
+    ``socket``/``subprocess``/``requests``/``os.system``.  Process
+    bodies run inside the event loop; host I/O there destroys both
+    performance measurements and (for anything timing-sensitive)
+    reproducibility.  Simulated file I/O goes through the vfs/m3fs
+    layers, which are generators themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.analysis.core import Finding, LintContext, Rule
+
+_BLOCKING_MODULES = {"socket", "subprocess", "requests", "urllib"}
+
+RULE_ID = "REP002"
+
+
+def check(ctx: LintContext) -> Iterator[Finding]:
+    yield from _check_bad_yield(ctx)
+    yield from _check_double_trigger(ctx)
+    yield from _check_nongen_process(ctx)
+    yield from _check_blocking_call(ctx)
+
+
+# -- bad-yield ----------------------------------------------------------------
+
+def _is_data_iterator(func: ast.AST) -> bool:
+    """Generators that are *not* process bodies: data iterators
+    (annotated ``Iterator``/``Iterable``/``Generator[X, ...]`` with a
+    non-Event yield type is still flagged conservatively only via the
+    annotation name) and decorator-driven generators (pytest fixtures,
+    contextmanagers), whose yielded value goes to the framework, not
+    the engine."""
+    returns = getattr(func, "returns", None)
+    ann = ""
+    if isinstance(returns, ast.Name):
+        ann = returns.id
+    elif isinstance(returns, ast.Subscript) and isinstance(returns.value,
+                                                           ast.Name):
+        ann = returns.value.id
+    elif isinstance(returns, ast.Constant) and isinstance(returns.value, str):
+        ann = returns.value.split("[", 1)[0].strip()
+    if ann in ("Iterator", "Iterable", "AsyncIterator", "AsyncIterable"):
+        return True
+    for dec in getattr(func, "decorator_list", []):
+        node = dec.func if isinstance(dec, ast.Call) else dec
+        name = (node.attr if isinstance(node, ast.Attribute)
+                else node.id if isinstance(node, ast.Name) else "")
+        if name in ("fixture", "contextmanager", "asynccontextmanager"):
+            return True
+    return False
+
+
+def _check_bad_yield(ctx: LintContext) -> Iterator[Finding]:
+    if not ctx.is_sim_critical:
+        return
+    exempt_lines: Set[int] = set()
+    for func in ast.walk(ctx.tree):
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and _is_data_iterator(func):
+            end = getattr(func, "end_lineno", func.lineno)
+            exempt_lines.update(range(func.lineno, end + 1))
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Yield) or node.value is None:
+            continue
+        if node.lineno in exempt_lines:
+            continue
+        v = node.value
+        bad = ""
+        if isinstance(v, ast.Constant):
+            if isinstance(v.value, bool) or v.value is None:
+                pass  # None is the cooperative yield
+            elif isinstance(v.value, int):
+                pass  # sleep-n fast path
+            else:
+                bad = f"constant {v.value!r}"
+        elif isinstance(v, (ast.List, ast.Dict, ast.Set, ast.JoinedStr)):
+            bad = f"a {type(v).__name__.lower()} literal"
+        elif isinstance(v, ast.Tuple):
+            bad = "a tuple literal"
+        if bad:
+            yield ctx.finding(
+                RULE_ID, "bad-yield", node,
+                f"process yields {bad}; the engine accepts only an Event, "
+                f"an int delay, or None (SimulationError at runtime)")
+
+
+# -- double-trigger -----------------------------------------------------------
+
+def _target_key(func: ast.Attribute) -> str:
+    """Dotted receiver of ``<recv>.succeed`` as text, '' if dynamic."""
+    parts: List[str] = []
+    node: ast.AST = func.value
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _assigned_names(stmt: ast.stmt) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        for t in targets:
+            for sub in ast.walk(t):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+def _scan_block(ctx: LintContext, body: List[ast.stmt]) -> Iterator[Finding]:
+    triggered: Dict[str, int] = {}
+    for stmt in body:
+        # reassigning the base name starts a fresh event
+        for name in _assigned_names(stmt):
+            for key in [k for k in triggered
+                        if k == name or k.startswith(name + ".")]:
+                del triggered[key]
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            f = call.func
+            if (isinstance(f, ast.Attribute)
+                    and f.attr in ("succeed", "fail")):
+                key = _target_key(f)
+                if key:
+                    if key in triggered:
+                        yield ctx.finding(
+                            RULE_ID, "double-trigger", call,
+                            f"{key}.{f.attr}() but {key} was already "
+                            f"triggered on this path (line "
+                            f"{triggered[key]}); an event fires exactly "
+                            f"once")
+                    else:
+                        triggered[key] = stmt.lineno
+        # recurse into nested statement lists with fresh tracking
+        for attr in ("body", "orelse", "finalbody"):
+            nested = getattr(stmt, attr, None)
+            if nested:
+                yield from _scan_block(ctx, nested)
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield from _scan_block(ctx, handler.body)
+
+
+def _check_double_trigger(ctx: LintContext) -> Iterator[Finding]:
+    if not ctx.is_sim_critical:
+        return
+    yield from _scan_block(ctx, ctx.tree.body)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from _scan_block(ctx, node.body)
+
+
+# -- nongen-process -----------------------------------------------------------
+
+def _plain_functions(tree: ast.Module) -> Set[str]:
+    """Names of same-file functions that contain no yield."""
+    plain: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            has_yield = any(isinstance(sub, (ast.Yield, ast.YieldFrom))
+                            for sub in ast.walk(node))
+            if not has_yield:
+                plain.add(node.name)
+            else:
+                plain.discard(node.name)
+    return plain
+
+
+def _check_nongen_process(ctx: LintContext) -> Iterator[Finding]:
+    if not ctx.is_sim_critical:
+        return
+    plain = _plain_functions(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "process" and node.args):
+            continue
+        arg = node.args[0]
+        if isinstance(arg, ast.Lambda):
+            yield ctx.finding(
+                RULE_ID, "nongen-process", arg,
+                "lambda passed to process(): lambdas cannot contain "
+                "yield, so this is never a generator")
+        elif isinstance(arg, ast.Name) and arg.id in plain:
+            yield ctx.finding(
+                RULE_ID, "nongen-process", arg,
+                f"{arg.id} has no yield and is passed to process() "
+                f"uncalled; process() needs a generator object "
+                f"(call it, or make it a generator)")
+
+
+# -- blocking-call ------------------------------------------------------------
+
+def _check_blocking_call(ctx: LintContext) -> Iterator[Finding]:
+    if not (ctx.is_sim_critical and ctx.is_library_code):
+        return
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        has_yield = any(isinstance(sub, (ast.Yield, ast.YieldFrom))
+                        for sub in ast.walk(func))
+        if not has_yield:
+            continue
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            f = node.func
+            desc = ""
+            if isinstance(f, ast.Name) and f.id in ("open", "input"):
+                desc = f"builtin {f.id}()"
+            elif isinstance(f, ast.Attribute) and isinstance(f.value,
+                                                             ast.Name):
+                mod, attr = f.value.id, f.attr
+                if mod == "time" and attr == "sleep":
+                    desc = "time.sleep()"
+                elif mod == "os" and attr == "system":
+                    desc = "os.system()"
+                elif mod in _BLOCKING_MODULES:
+                    desc = f"{mod}.{attr}()"
+            if desc:
+                yield ctx.finding(
+                    RULE_ID, "blocking-call", node,
+                    f"{desc} inside a process generator blocks the host "
+                    f"event loop; use simulated time (yield a delay) or "
+                    f"the vfs layer for I/O")
+
+
+RULE = Rule(
+    id=RULE_ID,
+    name="sim-concurrency-hazards",
+    description=("non-Event yields, double Event triggers, non-generator "
+                 "process targets, blocking host calls in process bodies"),
+    checker=check,
+)

@@ -168,7 +168,7 @@ class LsmStore:
                 if value != TOMBSTONE:
                     results.append((key, value))
         finally:
-            for fd in open_fds.values():
+            for fd in sorted(open_fds.values()):
                 yield from self.vfs.close(fd)
         return results
 

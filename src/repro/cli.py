@@ -27,6 +27,12 @@ Commands
               golden digest, ``--refresh`` rewrites the golden file,
               ``--out`` dumps the full canonical JSON, ``--spans`` /
               ``--chrome`` export activity timelines
+``lint``      run the repo's own static analyzer (REP001 determinism,
+              REP002 sim-concurrency, REP003 layering) against the
+              committed ``lint_baseline.json``; exit 1 on new findings
+
+Experiment modules import lazily: ``repro --version`` and ``repro
+lint`` never load the platform stack.
 
 Every subcommand shares one option set (runner options plus
 ``--metrics``/``--metrics-out``), so ``repro <cmd> --help`` reads the
@@ -43,7 +49,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core.report import bar_chart, render_report, shape_checks
+from repro import __version__
 
 SWEEPS = ("fig6", "fig7", "fig8", "fig9", "fig10", "figR", "voice")
 
@@ -202,6 +208,8 @@ def _sweep_params(name: str, args):
 
 
 def _cmd_fig6(args) -> int:
+    from repro.core.report import bar_chart
+
     rows = _sweep_result("fig6", _sweep_params("fig6", args), args)
     print(bar_chart("Figure 6 — no-op round trips (k cycles)",
                     {k: v["kcycles"] for k, v in rows.items()}, unit="kcy"))
@@ -209,6 +217,8 @@ def _cmd_fig6(args) -> int:
 
 
 def _cmd_fig7(args) -> int:
+    from repro.core.report import bar_chart
+
     print(bar_chart("Figure 7 — file throughput (MiB/s)",
                     _sweep_result("fig7", _sweep_params("fig7", args), args),
                     unit="MiB/s"))
@@ -216,6 +226,8 @@ def _cmd_fig7(args) -> int:
 
 
 def _cmd_fig8(args) -> int:
+    from repro.core.report import bar_chart
+
     print(bar_chart("Figure 8 — UDP RTT (us)",
                     _sweep_result("fig8", _sweep_params("fig8", args), args),
                     unit="us"))
@@ -392,6 +404,8 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    from repro.core.report import render_report, shape_checks
+
     with open(args.results) as handle:
         results = json.load(handle)
     print(render_report(results))
@@ -423,9 +437,17 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import cli as lint_cli
+
+    return lint_cli.run(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="M3v reproduction experiment runner")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     # one option set shared by every subcommand: runner options plus the
@@ -528,6 +550,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="tolerated events/sec drop vs the committed "
                         "trajectory (default 0.25)")
     p.set_defaults(func=_cmd_bench)
+
+    # deliberately NOT parented on `common`: lint must stay importable
+    # without the runner/observability stacks
+    from repro.analysis.cli import add_lint_arguments
+    p = sub.add_parser(
+        "lint", help="static analyzer: determinism, sim-concurrency, "
+                     "layering (REP001-REP003)")
+    add_lint_arguments(p)
+    p.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

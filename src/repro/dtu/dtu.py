@@ -547,7 +547,7 @@ class Dtu:
         elif req.op is ExtOp.WRITE_EPS:
             eps = req.args["eps"]
             yield self.params.ext_cmd_ps * len(eps)
-            for ep_id, ep in eps.items():
+            for ep_id, ep in sorted(eps.items()):
                 self.configure(ep_id, ep)
         elif req.op is ExtOp.SWAP_EPS:
             ids = req.args["ep_ids"]

@@ -8,9 +8,11 @@ controller machinery as runtime code, so setup is charged realistically
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional, Tuple
+from typing import TYPE_CHECKING, Generator, Optional, Tuple
 
-from repro.core.platform import M3vPlatform
+if TYPE_CHECKING:
+    from repro.core.platform import M3vPlatform
+
 from repro.dtu.endpoints import Perm, ReceiveEndpoint
 from repro.kernel.activity import Activity
 from repro.kernel.caps import CapKind, MGateObj, RGateObj, ServiceObj

@@ -81,7 +81,7 @@ class TlbPressure:
 
     def apply(self, plan: "FaultPlan", platform) -> None:
         sim, rng, deadline = platform.sim, plan.rng, plan.deadline_ps
-        for tile in platform.tiles.values():
+        for _tid, tile in sorted(platform.tiles.items()):
             if not isinstance(tile.dtu, VDtu):
                 continue
             tlb = tile.dtu.tlb
@@ -113,7 +113,7 @@ class ForcedPreemption:
 
     def apply(self, plan: "FaultPlan", platform) -> None:
         sim, rng, deadline = platform.sim, plan.rng, plan.deadline_ps
-        for tile in platform.tiles.values():
+        for _tid, tile in sorted(platform.tiles.items()):
             mux = tile.mux
             if mux is None or not hasattr(mux, "timeslice_ps"):
                 continue

@@ -1,0 +1,7 @@
+"""Fixture: triggers exactly REP003[facade-bypass]."""
+
+from repro.core import PlatformConfig, build_m3v
+
+
+def main():
+    return build_m3v(PlatformConfig(n_proc_tiles=2))

@@ -1,0 +1,8 @@
+"""Fixture: triggers exactly REP002[blocking-call]."""
+
+import os
+
+
+def worker(sim):
+    os.system("sync")
+    yield 10

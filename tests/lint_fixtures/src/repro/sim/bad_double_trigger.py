@@ -1,0 +1,6 @@
+"""Fixture: triggers exactly REP002[double-trigger]."""
+
+
+def finish(ev):
+    ev.succeed()
+    ev.succeed()

@@ -1,0 +1,7 @@
+"""Fixture: triggers exactly REP001[entropy]."""
+
+import random
+
+
+def jitter_ps():
+    return int(random.random() * 1000)

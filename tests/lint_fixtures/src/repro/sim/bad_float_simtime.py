@@ -1,0 +1,5 @@
+"""Fixture: triggers exactly REP001[float-simtime]."""
+
+
+def worker(sim, cost):
+    yield cost / 2

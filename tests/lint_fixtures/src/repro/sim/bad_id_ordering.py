@@ -1,0 +1,5 @@
+"""Fixture: triggers exactly REP001[id-ordering]."""
+
+
+def tie_break(event):
+    return id(event)

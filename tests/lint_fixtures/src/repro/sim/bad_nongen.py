@@ -1,0 +1,9 @@
+"""Fixture: triggers exactly REP002[nongen-process]."""
+
+
+def worker():
+    return 42
+
+
+def start(sim):
+    sim.process(worker)

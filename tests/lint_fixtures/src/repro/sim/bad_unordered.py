@@ -1,0 +1,9 @@
+"""Fixture: triggers exactly REP001[unordered-iter]."""
+
+
+def drain(events):
+    pending = {3, 1, 2}
+    order = []
+    for ev in pending:
+        order.append(ev)
+    return order

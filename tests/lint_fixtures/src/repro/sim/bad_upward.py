@@ -1,0 +1,7 @@
+"""Fixture: triggers exactly REP003[upward-import]."""
+
+from repro.dtu.dtu import Dtu
+
+
+def attach(tile):
+    return Dtu

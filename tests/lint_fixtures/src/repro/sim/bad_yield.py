@@ -1,0 +1,5 @@
+"""Fixture: triggers exactly REP002[bad-yield]."""
+
+
+def worker(sim):
+    yield "not-an-event"

@@ -1,0 +1,43 @@
+"""Fixture: near-misses of every rule; must produce zero findings."""
+
+import random
+from typing import Dict, Iterator
+
+
+def seeded(seed: int):
+    # constructing a *seeded* generator is the sanctioned way to be
+    # random; only the process-global RNG is flagged
+    return random.Random(seed)
+
+
+def worker(sim, rng):
+    yield rng.randrange(10)
+    yield 5
+    yield 100 // 3  # floor division stays integral
+    yield int(2.5)  # explicit conversion is an accepted fix
+
+
+def drain(sim, table: Dict[int, int]):
+    total = sum(v for v in table.values())  # order-insensitive consumer
+    for _key, value in sorted(table.items()):  # sorted() fixes the order
+        yield value
+    return total
+
+
+def names(table: Dict[int, str]) -> Iterator[str]:
+    # a data iterator, not a process body: non-Event yields are fine
+    yield "header"
+    for _key, value in sorted(table.items()):
+        yield value
+
+
+def retry(ev, fallback):
+    if ev.pending:
+        ev.succeed()
+    else:
+        fallback.succeed()  # different event: not a double trigger
+
+
+class Event:
+    def __repr__(self):
+        return f"<Event {id(self):#x}>"  # repr may use id()

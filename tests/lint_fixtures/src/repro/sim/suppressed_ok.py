@@ -1,0 +1,9 @@
+"""Fixture: a real hazard silenced by a scoped noqa; zero findings."""
+
+
+def drain(events):
+    pending = {3, 1, 2}
+    order = []
+    for ev in pending:  # repro: noqa[REP001] order irrelevant here
+        order.append(ev)
+    return order

@@ -267,7 +267,7 @@ def test_yield_garbage_raises():
     sim = Simulator()
 
     def bad():
-        yield "not an event"
+        yield "not an event"  # repro: noqa[REP002] deliberately bad yield under test
 
     sim.process(bad())
     with pytest.raises(SimulationError):
