@@ -244,11 +244,12 @@ def register(rule: Rule) -> Rule:
 def all_rules() -> Dict[str, Rule]:
     """The registry (id -> Rule), loading the rule modules on demand."""
     if not _REGISTRY:
-        from repro.analysis import concurrency, determinism, layering
+        from repro.analysis import concurrency, determinism, layering, sharding
 
         register(determinism.RULE)
         register(concurrency.RULE)
         register(layering.RULE)
+        register(sharding.RULE)
     return dict(_REGISTRY)
 
 

@@ -14,6 +14,7 @@ from repro.api.config import (
     FaultSpec,
     MetricsSpec,
     SYSTEM_KINDS,
+    ShardSpec,
     SystemConfig,
     TraceSpec,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "FaultSpec",
     "MetricsSpec",
     "SYSTEM_KINDS",
+    "ShardSpec",
     "System",
     "SystemConfig",
     "TraceSpec",

@@ -21,8 +21,27 @@ from repro.tiles import BOOM, CoreCosts, ROCKET
 
 SYSTEM_KINDS = ("m3v", "m3", "m3x", "linux")
 
-__all__ = ["FaultSpec", "MetricsSpec", "SYSTEM_KINDS", "SystemConfig",
-           "TraceSpec"]
+__all__ = ["FaultSpec", "MetricsSpec", "SYSTEM_KINDS", "ShardSpec",
+           "SystemConfig", "TraceSpec"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Conservative parallel DES across tile shards
+    (:mod:`repro.sim.parallel`).
+
+    ``n`` is the shard count (0 keeps the serial engine unless
+    ``REPRO_SHARDS`` overrides); ``policy`` partitions tiles ("block"
+    keeps contiguous tile ids together, "modulo" stripes them).  The
+    lookahead bound is always derived from the config's NoC parameters.
+    The executor backend and strict causality checking remain
+    env-selected (``REPRO_SHARD_BACKEND``, ``REPRO_SHARD_STRICT``)
+    because they do not change simulation results — only how the
+    deterministic merge order is produced and policed.
+    """
+
+    n: int = 0
+    policy: str = "block"
 
 
 @dataclass(frozen=True)
@@ -87,6 +106,7 @@ class SystemConfig:
     metrics: Optional[MetricsSpec] = None
     recovery: Optional[RecoveryPolicy] = None
     faults: Optional[FaultSpec] = None
+    shards: Optional[ShardSpec] = None
 
     def __post_init__(self):
         if self.kind not in SYSTEM_KINDS:
@@ -107,6 +127,9 @@ class SystemConfig:
             timeslice_us=self.timeslice_us,
             core_overrides=dict(self.core_overrides),
             dtu_overrides=dict(self.dtu_overrides),
+            shards=self.shards.n if self.shards is not None else 0,
+            shard_policy=(self.shards.policy if self.shards is not None
+                          else "block"),
         )
 
     @classmethod

@@ -40,9 +40,32 @@ class PlatformConfig:
     # heterogeneous cores: tile index -> CoreCosts (overrides proc_core)
     core_overrides: Dict[int, CoreCosts] = field(default_factory=dict)
     dtu_overrides: Dict[str, int] = field(default_factory=dict)
+    # conservative parallel DES (repro.sim.parallel); 0 = serial unless
+    # REPRO_SHARDS overrides at Simulator construction
+    shards: int = 0
+    shard_policy: str = "block"
 
     def with_tiles(self, n: int) -> "PlatformConfig":
         return replace(self, n_proc_tiles=n)
+
+
+def _sharded_sim(config: "PlatformConfig", all_tiles: List[int]):
+    """Build the Simulator (honoring shard config/env) and its plan.
+
+    Returns ``(sim, shard_of)`` where ``shard_of`` maps a tile id to
+    its shard (always ``GLOBAL_SHARD`` on serial runs).  The plan's
+    lookahead is the NoC bound (:meth:`repro.noc.NocParams.lookahead_ps`).
+    """
+    sim = Simulator(shards=config.shards or None)
+    if not sim.shards:
+        return sim, (lambda tid: -1)
+    from repro.sim.parallel import ShardPlan
+
+    plan = ShardPlan.for_tiles(all_tiles, sim.shards,
+                               config.noc.lookahead_ps(),
+                               policy=config.shard_policy)
+    sim.set_shard_plan(plan)
+    return sim, plan.shard_of
 
 
 class M3vPlatform:
@@ -50,7 +73,6 @@ class M3vPlatform:
 
     def __init__(self, config: PlatformConfig):
         self.config = config
-        self.sim = Simulator()
         self.stats = StatRegistry()
 
         n = config.n_proc_tiles
@@ -58,6 +80,9 @@ class M3vPlatform:
         self.ctrl_tile_id = n
         self.mem_tile_ids = list(range(n + 1, n + 1 + config.n_mem_tiles))
         all_tiles = self.proc_tile_ids + [self.ctrl_tile_id] + self.mem_tile_ids
+
+        self.sim, shard_of = _sharded_sim(config, all_tiles)
+        self.shard_of = shard_of
 
         topo = StarMeshTopology(all_tiles)
         self.fabric = NocFabric(self.sim, topo, params=config.noc,
@@ -68,33 +93,42 @@ class M3vPlatform:
             costs = config.core_overrides.get(tid, config.proc_core)
             params = DtuParams.for_clock(costs.clock.period_ps,
                                          **config.dtu_overrides)
-            vdtu = VDtu(self.sim, tid, self.fabric, params=params,
-                        stats=self.stats)
-            mux = TileMux(self.sim, tid, vdtu, costs, stats=self.stats,
-                          timeslice_us=config.timeslice_us)
+            with self.sim.shard_scope(shard_of(tid)):
+                vdtu = VDtu(self.sim, tid, self.fabric, params=params,
+                            stats=self.stats)
+                mux = TileMux(self.sim, tid, vdtu, costs, stats=self.stats,
+                              timeslice_us=config.timeslice_us)
             self.tiles[tid] = Tile(tid, TileKind.PROCESSING, costs=costs,
                                    dtu=vdtu, mux=mux)
 
         ctrl_costs = config.controller_core
         ctrl_params = DtuParams.for_clock(ctrl_costs.clock.period_ps,
                                           **config.dtu_overrides)
-        ctrl_dtu = Dtu(self.sim, self.ctrl_tile_id, self.fabric,
-                       params=ctrl_params, stats=self.stats)
-        self.tiles[self.ctrl_tile_id] = Tile(self.ctrl_tile_id,
-                                             TileKind.CONTROLLER,
-                                             costs=ctrl_costs, dtu=ctrl_dtu)
-        self.controller = Controller(self.sim, self.ctrl_tile_id, ctrl_dtu,
-                                     costs=ctrl_costs, stats=self.stats)
+        with self.sim.shard_scope(shard_of(self.ctrl_tile_id)):
+            ctrl_dtu = Dtu(self.sim, self.ctrl_tile_id, self.fabric,
+                           params=ctrl_params, stats=self.stats)
+            self.tiles[self.ctrl_tile_id] = Tile(self.ctrl_tile_id,
+                                                 TileKind.CONTROLLER,
+                                                 costs=ctrl_costs,
+                                                 dtu=ctrl_dtu)
+            self.controller = Controller(self.sim, self.ctrl_tile_id,
+                                         ctrl_dtu, costs=ctrl_costs,
+                                         stats=self.stats)
 
         for tid in self.mem_tile_ids:
-            mdtu = MemoryDtu(self.sim, tid, self.fabric,
-                             dram_size=config.dram_bytes, stats=self.stats)
+            with self.sim.shard_scope(shard_of(tid)):
+                mdtu = MemoryDtu(self.sim, tid, self.fabric,
+                                 dram_size=config.dram_bytes,
+                                 stats=self.stats)
             self.tiles[tid] = Tile(tid, TileKind.MEMORY, dtu=mdtu)
 
-        self.controller.boot([(tid, config.dram_bytes)
-                              for tid in self.mem_tile_ids])
+        with self.sim.shard_scope(shard_of(self.ctrl_tile_id)):
+            self.controller.boot([(tid, config.dram_bytes)
+                                  for tid in self.mem_tile_ids],
+                                 n_tiles=config.n_proc_tiles)
         for tid in self.proc_tile_ids:
-            self.controller.boot_wire_tile(tid, self.tiles[tid].mux)
+            with self.sim.shard_scope(shard_of(tid)):
+                self.controller.boot_wire_tile(tid, self.tiles[tid].mux)
 
     # ------------------------------------------------------------ conveniences
 
@@ -200,7 +234,6 @@ class M3xPlatform(M3vPlatform):
         from repro.mux.m3x import M3xController, M3xMux
 
         self.config = config
-        self.sim = Simulator()
         self.stats = StatRegistry()
 
         n = config.n_proc_tiles
@@ -208,6 +241,9 @@ class M3xPlatform(M3vPlatform):
         self.ctrl_tile_id = n
         self.mem_tile_ids = list(range(n + 1, n + 1 + config.n_mem_tiles))
         all_tiles = self.proc_tile_ids + [self.ctrl_tile_id] + self.mem_tile_ids
+
+        self.sim, shard_of = _sharded_sim(config, all_tiles)
+        self.shard_of = shard_of
 
         topo = StarMeshTopology(all_tiles)
         self.fabric = NocFabric(self.sim, topo, params=config.noc,
@@ -218,32 +254,41 @@ class M3xPlatform(M3vPlatform):
             costs = config.core_overrides.get(tid, config.proc_core)
             params = DtuParams.for_clock(costs.clock.period_ps,
                                          **config.dtu_overrides)
-            dtu = Dtu(self.sim, tid, self.fabric, params=params,
-                      stats=self.stats)
-            mux = M3xMux(self.sim, tid, dtu, costs, stats=self.stats)
+            with self.sim.shard_scope(shard_of(tid)):
+                dtu = Dtu(self.sim, tid, self.fabric, params=params,
+                          stats=self.stats)
+                mux = M3xMux(self.sim, tid, dtu, costs, stats=self.stats)
             self.tiles[tid] = Tile(tid, TileKind.PROCESSING, costs=costs,
                                    dtu=dtu, mux=mux)
 
         ctrl_costs = config.controller_core
         ctrl_params = DtuParams.for_clock(ctrl_costs.clock.period_ps,
                                           **config.dtu_overrides)
-        ctrl_dtu = Dtu(self.sim, self.ctrl_tile_id, self.fabric,
-                       params=ctrl_params, stats=self.stats)
-        self.tiles[self.ctrl_tile_id] = Tile(self.ctrl_tile_id,
-                                             TileKind.CONTROLLER,
-                                             costs=ctrl_costs, dtu=ctrl_dtu)
-        self.controller = M3xController(self.sim, self.ctrl_tile_id, ctrl_dtu,
-                                        costs=ctrl_costs, stats=self.stats)
+        with self.sim.shard_scope(shard_of(self.ctrl_tile_id)):
+            ctrl_dtu = Dtu(self.sim, self.ctrl_tile_id, self.fabric,
+                           params=ctrl_params, stats=self.stats)
+            self.tiles[self.ctrl_tile_id] = Tile(self.ctrl_tile_id,
+                                                 TileKind.CONTROLLER,
+                                                 costs=ctrl_costs,
+                                                 dtu=ctrl_dtu)
+            self.controller = M3xController(self.sim, self.ctrl_tile_id,
+                                            ctrl_dtu, costs=ctrl_costs,
+                                            stats=self.stats)
 
         for tid in self.mem_tile_ids:
-            mdtu = MemoryDtu(self.sim, tid, self.fabric,
-                             dram_size=config.dram_bytes, stats=self.stats)
+            with self.sim.shard_scope(shard_of(tid)):
+                mdtu = MemoryDtu(self.sim, tid, self.fabric,
+                                 dram_size=config.dram_bytes,
+                                 stats=self.stats)
             self.tiles[tid] = Tile(tid, TileKind.MEMORY, dtu=mdtu)
 
-        self.controller.boot([(tid, config.dram_bytes)
-                              for tid in self.mem_tile_ids])
+        with self.sim.shard_scope(shard_of(self.ctrl_tile_id)):
+            self.controller.boot([(tid, config.dram_bytes)
+                                  for tid in self.mem_tile_ids],
+                                 n_tiles=config.n_proc_tiles)
         for tid in self.proc_tile_ids:
-            self.controller.boot_wire_tile(tid, self.tiles[tid].mux)
+            with self.sim.shard_scope(shard_of(tid)):
+                self.controller.boot_wire_tile(tid, self.tiles[tid].mux)
 
 
 def build_m3x(config: Optional[PlatformConfig] = None, **overrides) -> M3xPlatform:

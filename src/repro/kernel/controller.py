@@ -133,16 +133,24 @@ class Controller:
 
     # ------------------------------------------------------------------ boot
 
-    def boot(self, memories: List[Tuple[int, int]]) -> None:
+    def boot(self, memories: List[Tuple[int, int]],
+             n_tiles: int = 0) -> None:
         """Initialize memory and our own endpoints.
 
         ``memories`` is a list of (mem_tile_id, dram_size) pairs.
         Runs at platform-build time (before the simulation starts), so
         it configures endpoints directly without ext requests.
+        ``n_tiles`` sizes the syscall/notify receive buffers: past 32
+        processing tiles the default 64 slots can fill with every tile
+        forwarding a syscall at once (m3x slow path), which would turn
+        boot-storm NACK retries into the bottleneck.
         """
+        slots = max(64, 2 * n_tiles)
         self.phys = PhysAllocator([PhysRegion(t, 0, s) for t, s in memories])
-        self.dtu.configure(EP_SYSCALL, ReceiveEndpoint(slots=64, slot_size=512))
-        self.dtu.configure(EP_NOTIFY, ReceiveEndpoint(slots=64, slot_size=256))
+        self.dtu.configure(EP_SYSCALL, ReceiveEndpoint(slots=slots,
+                                                       slot_size=512))
+        self.dtu.configure(EP_NOTIFY, ReceiveEndpoint(slots=slots,
+                                                      slot_size=256))
         self.dtu.configure(EP_REPLY, ReceiveEndpoint(slots=8, slot_size=512))
         self._proc = self.sim.process(self._main_loop(), name="controller")
 

@@ -1,0 +1,5 @@
+"""Fixture: triggers exactly REP004[active-shard]."""
+
+
+def pin(sim, shard):
+    sim._active_shard = shard

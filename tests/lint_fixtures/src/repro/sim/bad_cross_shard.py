@@ -1,0 +1,6 @@
+"""Fixture: triggers exactly REP004[foreign-tile-store]."""
+
+
+def rewire(plat, tid, new_mux):
+    plat.tiles[tid].mux = new_mux
+    return plat

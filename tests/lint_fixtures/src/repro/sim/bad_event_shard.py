@@ -1,0 +1,6 @@
+"""Fixture: triggers exactly REP004[event-shard-store]."""
+
+
+def restamp(event, lane):
+    event.shard = lane
+    return event

@@ -1,0 +1,5 @@
+"""Fixture: triggers exactly REP004[window-protocol]."""
+
+
+def steal_work(queue, lane, horizon):
+    return queue.pop_lane_upto(lane, horizon)

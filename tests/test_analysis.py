@@ -40,6 +40,10 @@ BAD_FIXTURES = {
     "src/repro/sim/bad_blocking.py": ("REP002", "blocking-call"),
     "src/repro/sim/bad_upward.py": ("REP003", "upward-import"),
     "examples/bad_facade.py": ("REP003", "facade-bypass"),
+    "src/repro/sim/bad_cross_shard.py": ("REP004", "foreign-tile-store"),
+    "src/repro/sim/bad_active_shard.py": ("REP004", "active-shard"),
+    "src/repro/sim/bad_window_protocol.py": ("REP004", "window-protocol"),
+    "src/repro/sim/bad_event_shard.py": ("REP004", "event-shard-store"),
 }
 
 
@@ -101,7 +105,7 @@ def test_select_and_ignore():
 
 def test_rule_registry_is_complete():
     rules = all_rules()
-    assert set(rules) == {"REP001", "REP002", "REP003"}
+    assert set(rules) == {"REP001", "REP002", "REP003", "REP004"}
     for rule in rules.values():
         assert rule.description
 
