@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Chaos gate: run the seeded fault-storm + overload-burst campaigns
+# (repro chaos) over the figS serving topology, with the invariant
+# checkers online and SLO floors enforced.  The campaign set runs
+# twice — serial and under the 4-way-sharded engine in strict mode —
+# and the verdict output must be byte-identical: the chaos schedule,
+# like everything else, may not depend on engine parallelism.
+#
+# Usage: scripts/check_chaos.sh [requests-per-gateway-per-phase]
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+requests="${1:-10}"
+
+status=0
+
+if python -m repro chaos --requests "$requests" \
+        > /tmp/chaos_serial.txt 2>&1; then
+    echo "ok   chaos campaigns (serial engine)"
+else
+    status=1
+    echo "FAIL chaos campaigns (serial engine):" >&2
+    cat /tmp/chaos_serial.txt >&2
+fi
+
+if REPRO_SHARDS=4 REPRO_SHARD_STRICT=1 \
+        python -m repro chaos --requests "$requests" \
+        > /tmp/chaos_sharded.txt 2>&1; then
+    echo "ok   chaos campaigns (REPRO_SHARDS=4 strict)"
+else
+    status=1
+    echo "FAIL chaos campaigns (REPRO_SHARDS=4 strict):" >&2
+    cat /tmp/chaos_sharded.txt >&2
+fi
+
+if [ "$status" -eq 0 ]; then
+    if cmp -s /tmp/chaos_serial.txt /tmp/chaos_sharded.txt; then
+        echo "ok   campaign verdicts identical serial vs 4-way sharded"
+    else
+        status=1
+        echo "FAIL campaign verdicts diverge under sharding:" >&2
+        diff /tmp/chaos_serial.txt /tmp/chaos_sharded.txt >&2 || true
+    fi
+fi
+
+exit $status

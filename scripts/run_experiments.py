@@ -29,6 +29,7 @@ from repro.core.exps import (
     Fig9Params,
     Fig10Params,
     FigRParams,
+    FigSParams,
     VoiceParams,
 )
 from repro.core.report import runner_summary
@@ -55,6 +56,9 @@ def build_plan(quick: bool):
             ("voice", None, "voice", VoiceParams(triggers=4)),
             ("figR", None, "figR",
              FigRParams(messages=15, fault_rates=[0.0, 0.1])),
+            ("figS", None, "figS",
+             FigSParams(requests=30, loads=[0.7, 1.0, 1.5, 2.0],
+                        ablation_loads=[2.0], backend_loads=[2.0])),
         ]
     return [
         ("fig6", None, "fig6", Fig6Params(iterations=1000, warmup=50)),
@@ -65,6 +69,7 @@ def build_plan(quick: bool):
         ("fig10", None, "fig10", Fig10Params(runs=2, warmup=1)),
         ("voice", None, "voice", VoiceParams(triggers=8, repetitions=1)),
         ("figR", None, "figR", FigRParams()),
+        ("figS", None, "figS", FigSParams()),
     ]
 
 
@@ -76,7 +81,7 @@ def parse_args(argv=None):
                         help="worker processes for the point sweeps")
     parser.add_argument("--only", action="append", metavar="NAME",
                         help="run only these figures (table1, fig6..fig10, "
-                             "figR, voice); repeatable")
+                             "figR, figS, voice); repeatable")
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down workloads (CI smoke)")
     parser.add_argument("--no-cache", action="store_true",

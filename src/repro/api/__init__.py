@@ -14,6 +14,7 @@ from repro.api.config import (
     FaultSpec,
     MetricsSpec,
     SYSTEM_KINDS,
+    ServingSpec,
     ShardSpec,
     SystemConfig,
     TraceSpec,
@@ -24,6 +25,7 @@ __all__ = [
     "FaultSpec",
     "MetricsSpec",
     "SYSTEM_KINDS",
+    "ServingSpec",
     "ShardSpec",
     "System",
     "SystemConfig",

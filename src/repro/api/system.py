@@ -46,6 +46,7 @@ class System:
         self.metrics = metrics if metrics is not None else impl.sim.metrics
         self.profiler = impl.sim.profiler
         self.spans = spans
+        self.serving = getattr(impl, "serving", None)
 
     @property
     def platform(self):
@@ -140,4 +141,10 @@ def build_system(config: Optional[SystemConfig] = None,
             HwFaultPlan.lossy(config.faults.seed, config.faults.rate,
                               deadline_ps=config.faults.deadline_ps
                               ).apply(impl)
+        if config.serving is not None:
+            from repro.services.serving import ServingStack
+
+            impl.serving = ServingStack(
+                config.serving, plat=impl,
+                controller=getattr(impl, "controller", None))
     return System(config, impl, tracer=tracer, metrics=metrics, spans=spans)

@@ -4,7 +4,7 @@ Commands
 --------
 ``area``      print Table 1 and the derived ratios
 ``sloc``      print the section-6.1 complexity report
-``fig6|fig7|fig8|fig9|fig10|figR|voice``
+``fig6|fig7|fig8|fig9|fig10|figR|figS|voice``
               run one experiment (shortened workloads; ``--paper`` for
               the full parameters) and print its ASCII figure.  All of
               these go through the parallel runner: ``--jobs N`` fans
@@ -51,7 +51,7 @@ from typing import List, Optional
 
 from repro import __version__
 
-SWEEPS = ("fig6", "fig7", "fig8", "fig9", "fig10", "figR", "voice")
+SWEEPS = ("fig6", "fig7", "fig8", "fig9", "fig10", "figR", "figS", "voice")
 
 
 def _open_out(path):
@@ -199,6 +199,15 @@ def _sweep_params(name: str, args):
             return FigRParams()
         return (FigRParams(messages=10, fault_rates=[0.0, 0.1]) if quick
                 else FigRParams(messages=15, fault_rates=[0.0, 0.05, 0.1]))
+    if name == "figS":
+        from repro.core.exps.figs import FigSParams
+        if paper:
+            return FigSParams()
+        if quick:
+            return FigSParams(requests=10, loads=[0.7, 2.0],
+                              ablation_loads=[2.0], backend_loads=[2.0])
+        return FigSParams(requests=30, loads=[0.7, 1.0, 1.5, 2.0],
+                          ablation_loads=[2.0], backend_loads=[2.0])
     if name == "voice":
         from repro.core.exps.voice import VoiceParams
         if paper:
@@ -264,6 +273,25 @@ def _cmd_figr(args) -> int:
                   f"retx {row['retransmits']:3d}  "
                   f"slow {row['slow_paths']:3d}  "
                   f"failed {row['failures']:2d}")
+    return 0
+
+
+def _cmd_figs(args) -> int:
+    data = _sweep_result("figS", _sweep_params("figS", args), args)
+    print("Figure S — goodput and tail latency vs offered load "
+          "(multi-tenant serving under faults)")
+    for arm, by_load in data.items():
+        print(f"  {arm}:")
+        for load, row in sorted(by_load.items()):
+            if row is None:
+                print(f"    load {load:4.1f}x  FAILED")
+                continue
+            print(f"    load {load:4.1f}x  offered {row['offered_rps']:7.0f} "
+                  f"rps  goodput {row['goodput_rps']:7.0f} rps  "
+                  f"p50 {row['p50_us']:8.1f} us  p99 {row['p99_us']:8.1f} us  "
+                  f"p99.9 {row['p999_us']:8.1f} us  "
+                  f"shed {row['shed']:3d}  bp {row['backpressure']:4d}  "
+                  f"slow {row['slow_paths']:4d}")
     return 0
 
 
@@ -437,6 +465,30 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Run the seeded chaos campaigns (fault storms + overload bursts
+    over the figS serving topology) and gate on their verdicts."""
+    from repro.testing.chaos import run_campaigns, standard_campaigns
+
+    campaigns = standard_campaigns(requests=args.requests)
+    if args.campaign:
+        wanted = set(args.campaign)
+        known = {c.name for c in campaigns}
+        unknown = wanted - known
+        if unknown:
+            print(f"unknown campaign(s): {', '.join(sorted(unknown))}; "
+                  f"known: {', '.join(sorted(known))}", file=sys.stderr)
+            return 2
+        campaigns = [c for c in campaigns if c.name in wanted]
+    results = run_campaigns(campaigns)
+    for result in results:
+        print(result.summary())
+    failed = [r for r in results if not r.ok]
+    print(f"\nchaos: {len(results) - len(failed)}/{len(results)} "
+          f"campaign(s) passed")
+    return 1 if failed else 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import cli as lint_cli
 
@@ -476,7 +528,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("sloc", parents=[common]).set_defaults(func=_cmd_sloc)
     for name, func in (("fig6", _cmd_fig6), ("fig7", _cmd_fig7),
                        ("fig8", _cmd_fig8), ("figR", _cmd_figr),
-                       ("voice", _cmd_voice)):
+                       ("figS", _cmd_figs), ("voice", _cmd_voice)):
         p = sub.add_parser(name, parents=[common])
         p.add_argument("--quick", action="store_true",
                        help="golden/smoke-scale workload")
@@ -518,6 +570,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 "contains SUBSTR (repeatable)")
         p.set_defaults(func=func)
 
+    p = sub.add_parser(
+        "chaos", parents=[common],
+        help="run seeded fault-storm + overload-burst campaigns against "
+             "SLO floors and the invariant checkers")
+    p.add_argument("--campaign", action="append", metavar="NAME",
+                   help="run only this campaign (repeatable)")
+    p.add_argument("--requests", type=int, default=10, metavar="N",
+                   help="requests per gateway per phase (default 10)")
+    p.set_defaults(func=_cmd_chaos)
     p = sub.add_parser("report", parents=[common])
     p.add_argument("results", help="JSON from scripts/run_experiments.py")
     p.set_defaults(func=_cmd_report)

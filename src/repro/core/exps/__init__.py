@@ -38,6 +38,10 @@ from repro.core.exps.figr import (
     FigRParams, FigRPoint, figr_points, reduce_figr, run_figr,
     run_figr_point,
 )
+from repro.core.exps.figs import (
+    FigSParams, FigSPoint, figs_points, reduce_figs, run_figs,
+    run_figs_point,
+)
 from repro.core.exps.voice import (
     VoiceParams, VoicePoint, reduce_voice, run_voice, run_voice_point,
     voice_points,
@@ -56,6 +60,8 @@ __all__ = [
     "reduce_fig10", "run_fig10",
     "FigRParams", "FigRPoint", "figr_points", "run_figr_point",
     "reduce_figr", "run_figr",
+    "FigSParams", "FigSPoint", "figs_points", "run_figs_point",
+    "reduce_figs", "run_figs",
     "VoiceParams", "VoicePoint", "voice_points", "run_voice_point",
     "reduce_voice", "run_voice",
 ]

@@ -156,6 +156,28 @@ def render_report(results: Dict) -> str:
             lines.append(f"  {sys_name:{label_w}s}{cells}   rps")
         parts.append("\n".join(lines))
 
+    if "figS" in results:
+        figs = {arm: {float(k): v for k, v in ys.items()}
+                for arm, ys in results["figS"].items()}
+        loads = sorted({x for ys in figs.values() for x in ys})
+        label_w = max(len(s) for s in figs)
+        lines = ["Figure S — serving under overload: goodput (rps) vs "
+                 "offered load (x saturation), faults on"]
+        header = "  " + " " * label_w + "".join(f"{x:>9.1f}x" for x in loads)
+        lines.append(header)
+        for arm, ys in figs.items():
+            cells = "".join(
+                f"{'—':>10s}" if ys.get(x) is None
+                else f"{ys[x]['goodput_rps']:10.0f}" for x in loads)
+            lines.append(f"  {arm:{label_w}s}{cells}   rps")
+        lines.append("  p99 latency (us):")
+        for arm, ys in figs.items():
+            cells = "".join(
+                f"{'—':>10s}" if ys.get(x) is None
+                else f"{ys[x]['p99_us']:10.0f}" for x in loads)
+            lines.append(f"  {arm:{label_w}s}{cells}   us")
+        parts.append("\n".join(lines))
+
     if "voice" in results:
         v = results["voice"]
         parts.append(
@@ -216,6 +238,31 @@ def shape_checks(results: Dict) -> List[str]:
     if voice:
         expect(0 < voice["overhead_pct"] < 15,
                "voice: small sharing overhead")
+
+    figs = results.get("figS")
+    if figs and "m3v" in figs and "m3x" in figs:
+        m3v = {float(k): v for k, v in figs["m3v"].items()}
+        m3x = {float(k): v for k, v in figs["m3x"].items()}
+        ok_v = {x: r for x, r in m3v.items() if r is not None}
+        if ok_v:
+            peak = max(r["goodput_rps"] for r in ok_v.values())
+            top = max(ok_v)
+            if top >= 1.5 and peak > 0:
+                expect(ok_v[top]["goodput_rps"] >= 0.8 * peak,
+                       "figS: M3v goodput at overload >= 80% of peak")
+            low = max((x for x in ok_v if x <= 0.7), default=None)
+            if low is not None:
+                row = ok_v[low]
+                expect(row["slo_met"] >= 0.95 * max(1, row["completed"]),
+                       "figS: p99 SLO holds up to 70% utilization on M3v")
+            both = max((x for x in ok_v if m3x.get(x) is not None),
+                       default=None)
+            if both is not None and both >= 1.5:
+                expect(ok_v[both]["goodput_rps"]
+                       > m3x[both]["goodput_rps"],
+                       "figS: M3x slow path collapses under overload")
+                expect(ok_v[both]["p99_us"] < m3x[both]["p99_us"],
+                       "figS: M3v tail latency beats M3x under overload")
 
     figr = results.get("figR")
     if figr and "m3v" in figr and "m3x" in figr:

@@ -84,6 +84,7 @@ class TmuxNotify(enum.Enum):
 
     EXIT = "exit"
     BLOCKED = "blocked"  # M3x: current activity blocked; please schedule
+    WAKEUP = "wakeup"    # M3x: a descheduled activity's sleep timer fired
     FAULT = "fault"      # recovery: watchdog/fault report for health tracking
 
 

@@ -170,6 +170,41 @@ class ActivityApi:
                     continue
                 raise
 
+    def send_nowait(self, ep: int, data: Any, size: int,
+                    reply_ep: Optional[int] = None,
+                    virt: int = 0) -> Generator:
+        """SEND that treats credit exhaustion as a signal, not a stall.
+
+        Returns True once the remote DTU stored the message, False when
+        the endpoint is out of credits — the consumer has not drained
+        older messages, i.e. downstream backpressure.  Overload-aware
+        senders (the serving stack's gateways and balancer) use the
+        False return to queue, shed, or steer instead of blocking the
+        core the way :meth:`send` does.  Translation retries and
+        recovery-layer retransmissions behave exactly like ``send``.
+        """
+        yield from self.compute(self.costs.lib_send)
+        policy = self.recovery
+        seq = None if policy is None else self._next_seq(ep)
+        attempt = 0
+        while True:
+            try:
+                yield from self.vdtu.cmd_send(ep, data, size,
+                                              reply_ep=reply_ep,
+                                              virt_addr=virt, seq=seq)
+                return True
+            except DtuFault as fault:
+                if fault.error is DtuError.TRANSLATION_FAULT:
+                    yield from self._retry_translation(virt, Perm.R)
+                    continue
+                if fault.error is DtuError.MISSING_CREDITS:
+                    return False
+                if policy is not None and fault.error in RETRYABLE_ERRORS:
+                    attempt += 1
+                    yield from self._backoff(policy, attempt, fault)
+                    continue
+                raise
+
     def fetch(self, ep: int) -> Generator:
         yield from self.compute(self.costs.lib_fetch)
         policy = self.recovery

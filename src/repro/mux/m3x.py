@@ -108,6 +108,39 @@ class M3xActivityApi(ActivityApi):
             metrics.series_inc(f"tile{self.vdtu.tile}/m3x/slow_paths",
                                self.sim.now)
 
+    def send_nowait(self, ep: int, data: Any, size: int,
+                    reply_ep: Optional[int] = None,
+                    virt: int = 0) -> Generator:
+        """Credit-aware send, M3x flavour: a descheduled recipient is
+        not backpressure — the message takes the slow path through the
+        controller exactly like :meth:`send`, and only genuine credit
+        exhaustion returns False."""
+        yield from self.compute(self.costs.lib_send)
+        policy = self.recovery
+        seq = None if policy is None else self._next_seq(ep)
+        attempt = 0
+        while True:
+            try:
+                yield from self.vdtu.cmd_send(ep, data, size,
+                                              reply_ep=reply_ep, seq=seq)
+                return True
+            except DtuFault as fault:
+                if fault.error is DtuError.RECV_GONE:
+                    held = seq is not None and seq in self.vdtu._credit_held
+                    yield from self._slow_path_send(
+                        ep, data, size, reply_ep, seq,
+                        credit_ep=ep if held else None)
+                    if held:
+                        self.vdtu._credit_held.discard(seq)
+                    return True
+                if fault.error is DtuError.MISSING_CREDITS:
+                    return False
+                if policy is not None and fault.error in RETRYABLE_ERRORS:
+                    attempt += 1
+                    yield from self._backoff(policy, attempt, fault)
+                    continue
+                raise
+
     def reply(self, ep: int, msg: Message, data: Any, size: int,
               virt: int = 0) -> Generator:
         yield from self.compute(self.costs.lib_reply)
@@ -187,6 +220,8 @@ class M3xMux:
         self.acts: Dict[int, Activity] = {}
         self.current: Optional[Activity] = None
         self._resume_next: Optional[int] = None
+        self._wake_pending: list = []   # act ids whose sleep timer fired
+                                        # while they were descheduled
         self._wake: Event = sim.event()
         self._wake_waiting = False   # main loop is parked on _wake
         self._poll_waiters: list = []
@@ -261,6 +296,15 @@ class M3xMux:
     def _main_loop(self) -> Generator:
         while True:
             yield from self._service_ctrl_requests()
+            while self._wake_pending:
+                act_id = self._wake_pending.pop(0)
+                act = self.acts.get(act_id)
+                if act is None or act is self.current:
+                    continue
+                yield from self._notify_ctrl(
+                    NotifyMsg(TmuxNotify.WAKEUP, {"tile": self.tile_id,
+                                                  "act_id": act_id}))
+                self.stats.counter("m3x/wake_notifies").add()
             if self._resume_next is not None:
                 nxt = self.acts.get(self._resume_next)
                 self._resume_next = None
@@ -361,6 +405,14 @@ class M3xMux:
             self._emit("act_block", act=ctx.act_id)
             deadline = self.sim.now + call.args["ps"]
             self.sim.process(self._wake_after(ctx, deadline))
+            if len(self.acts) > 1:
+                # a nap is a block as far as the controller is concerned:
+                # without the notify it would never install the
+                # co-resident activity for the duration
+                yield from self._notify_ctrl(
+                    NotifyMsg(TmuxNotify.BLOCKED, {"tile": self.tile_id,
+                                                   "act_id": ctx.act_id}))
+                self.stats.counter("m3x/block_notifies").add()
             return None, False
         if op == "exit":
             yield from self._exit(ctx, call.args.get("code", 0))
@@ -376,6 +428,11 @@ class M3xMux:
         if ctx.state is ActState.BLOCKED:
             ctx.state = ActState.READY
             self._emit("act_wake", act=ctx.act_id, reason="sleep")
+            if self.current is not ctx and len(self.acts) > 1:
+                # descheduled while napping: only the controller can
+                # reinstall it, and only RCTMux knows the timer fired —
+                # queue a WAKEUP notify for the main loop to send
+                self._wake_pending.append(ctx.act_id)
             self._on_msg(-1)
 
     def _exit(self, ctx: Activity, code: int) -> Generator:
@@ -471,6 +528,19 @@ class M3xController(Controller):
             yield from self.dtu.cmd_ack(1, msg)  # EP_NOTIFY
             yield from self._schedule_tile(note.args["tile"])
             return
+        if note.kind is TmuxNotify.WAKEUP:
+            yield self.clock.cycles_to_ps(self.SYSCALL_BASE_CY)
+            yield from self.dtu.cmd_ack(1, msg)  # EP_NOTIFY
+            act = self.acts.get(note.args["act_id"])
+            if act is not None:
+                if self._blocked(act):
+                    act.state = ActState.READY
+                    self._emit_wake(act, "wakeup")
+                ready = self._tile_ready.setdefault(act.tile_id, [])
+                if not self._is_current(act) and act.act_id not in ready:
+                    ready.append(act.act_id)
+                yield from self._schedule_tile(act.tile_id)
+            return
         tile = None
         if note.kind is TmuxNotify.EXIT:
             act = self.acts.get(note.args["act_id"])
@@ -495,9 +565,15 @@ class M3xController(Controller):
         cur_id = self._tile_current.get(tile)
         if cur_id is not None:
             cur = self.acts[cur_id]
-            if cur.state is ActState.RUNNING or not self._blocked(cur):
-                return  # someone runnable is already installed
+            if cur.state is ActState.RUNNING:
+                return  # mid-dispatch; it will notify when it blocks
             yield from self._save_context(cur)
+            if not self._blocked(cur) and cur.act_id not in ready:
+                # round-robin a runnable current instead of declining the
+                # switch: a napper whose timer beats the (credit-delayed)
+                # BLOCKED notify would otherwise starve the ready queue
+                # forever — it re-wakes before every scheduling decision
+                ready.append(cur.act_id)
         nxt = self.acts[ready.pop(0)]
         yield from self._restore_context(nxt)
         self.stats.counter("m3x/switches").add()
@@ -538,6 +614,14 @@ class M3xController(Controller):
                 ready = self._tile_ready.setdefault(tile, [])
                 if act.act_id not in ready:
                     ready.append(act.act_id)
+        if not self._blocked(act) and act.state is not ActState.EXITED:
+            # the sleep timer fired between the BLOCKED notify and the
+            # save landing (the activity state is shared with RCTMux, so
+            # the post-save check sees it): runnable, must requeue, or it
+            # would sit READY in a snapshot nobody ever restores
+            ready = self._tile_ready.setdefault(tile, [])
+            if act.act_id not in ready:
+                ready.append(act.act_id)
         self._tile_current[tile] = None
 
     def _restore_context(self, act: Activity) -> Generator:

@@ -170,6 +170,12 @@ class TileMux:
         """No runnable activity: park the vDTU so any arrival interrupts."""
         if self.vdtu.cur_act != ACT_INVALID:
             yield from self._switch_vdtu(ACT_INVALID, 0)
+            if self.ready:
+                # the exchange itself averted a lost wakeup: the message
+                # landed while the blocking activity was still CUR_ACT,
+                # so no core request (and hence no IRQ) will ever fire —
+                # parking now would strand the requeued activity forever
+                return
         if self.vdtu.core_req_pending:
             return
         if self._wake.triggered:

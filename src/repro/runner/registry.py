@@ -95,6 +95,8 @@ def _load_builtin() -> None:
          exps.reduce_voice),
         ("figR", exps.FigRParams, exps.figr_points, exps.run_figr_point,
          exps.reduce_figr),
+        ("figS", exps.FigSParams, exps.figs_points, exps.run_figs_point,
+         exps.reduce_figs),
     ]
     for name, params_cls, points, point_fn, reduce in builtin:
         if name in SWEEPS:       # a test replaced it before first load
@@ -106,6 +108,18 @@ def _load_builtin() -> None:
             from repro.mux import recovery
 
             paths = paths + (faults.__file__, recovery.__file__)
+        elif name == "figS":
+            # figS additionally depends on the serving stack, the
+            # open-loop workload, the MPMC channel backend, and (like
+            # figR) the fault/recovery layer it runs under
+            from repro import faults
+            from repro.mux import mpmc, recovery
+            from repro.services import serving as serving_stack
+            from repro.workloads import serving as serving_wl
+
+            paths = paths + (faults.__file__, recovery.__file__,
+                             serving_stack.__file__, serving_wl.__file__,
+                             mpmc.__file__)
         register(Sweep(name=name, points=points, point_fn=point_fn,
                        reduce=reduce, params_cls=params_cls,
                        fingerprint_paths=paths))

@@ -58,7 +58,7 @@ import itertools
 import os
 from contextlib import contextmanager
 from time import perf_counter as _perf_counter
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
 # Shard id of unpinned context (mirrors repro.sim.parallel.GLOBAL_SHARD;
 # duplicated as a literal because parallel imports this module).
@@ -966,6 +966,7 @@ class Simulator:
         window_end = None
         wcount = 0
         n = 0
+        per_shard: Dict[int, int] = {}
         try:
             while True:
                 when = q.peek()
@@ -984,6 +985,7 @@ class Simulator:
                 self._active_shard = shard
                 n += 1
                 wcount += 1
+                per_shard[shard] = per_shard.get(shard, 0) + 1
                 if tracer is not None:
                     tracer.emit(self, "evq_pop", cls=type(event).__name__)
                 if metrics is not None:
@@ -1008,6 +1010,11 @@ class Simulator:
             stats.events += n
             if wcount > stats.max_window_events:
                 stats.max_window_events = wcount
+            stats.count_shards(per_shard)
+            if metrics is not None:
+                metrics.inc("sim/shards/violations", 0)  # surface even at 0
+                for s, cnt in per_shard.items():
+                    metrics.inc(f"sim/shards/{s}/events", cnt)
             self._active_shard = _GLOBAL_SHARD
             _events_processed += n
 
@@ -1021,6 +1028,7 @@ class Simulator:
         clock = _perf_counter  # repro: noqa[REP001] host-clock self-profiling
         pending = _PENDING
         n = 0
+        per_shard: Dict[int, int] = {}
         try:
             while ev._value is pending:
                 when = q.peek()
@@ -1034,6 +1042,7 @@ class Simulator:
                 shard = event.shard
                 self._active_shard = shard
                 n += 1
+                per_shard[shard] = per_shard.get(shard, 0) + 1
                 if tracer is not None:
                     tracer.emit(self, "evq_pop", cls=type(event).__name__)
                 if metrics is not None:
@@ -1056,6 +1065,11 @@ class Simulator:
                     raise event._value
         finally:
             stats.events += n
+            stats.count_shards(per_shard)
+            if metrics is not None:
+                metrics.inc("sim/shards/violations", 0)  # surface even at 0
+                for s, cnt in per_shard.items():
+                    metrics.inc(f"sim/shards/{s}/events", cnt)
             self._active_shard = _GLOBAL_SHARD
             _events_processed += n
 

@@ -209,7 +209,7 @@ class ShardStats:
     """Counters the sharded drain maintains (cheap; always on)."""
 
     __slots__ = ("windows", "events", "cross_pushes", "violations",
-                 "max_window_events", "barrier_events")
+                 "max_window_events", "barrier_events", "events_by_shard")
 
     def __init__(self) -> None:
         self.windows = 0            # conservative windows opened
@@ -218,9 +218,19 @@ class ShardStats:
         self.violations = 0         # cross-shard pushes inside lookahead
         self.max_window_events = 0  # largest single window
         self.barrier_events = 0     # events executed via worker barriers
+        self.events_by_shard: Dict[int, int] = {}
+
+    def count_shards(self, per_shard: Dict[int, int]) -> None:
+        """Merge one drain's per-shard event tallies."""
+        by = self.events_by_shard
+        for shard, n in per_shard.items():
+            by[shard] = by.get(shard, 0) + n
 
     def as_dict(self) -> Dict[str, int]:
-        return {s: getattr(self, s) for s in self.__slots__}
+        d = {s: getattr(self, s) for s in self.__slots__
+             if s != "events_by_shard"}
+        d["events_by_shard"] = dict(sorted(self.events_by_shard.items()))
+        return d
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = " ".join(f"{k}={v}" for k, v in self.as_dict().items())
@@ -323,6 +333,9 @@ class ShardedEventQueue:
 
     def _violation(self, shard: int, src: int, when: int, now: int) -> None:
         self.stats.violations += 1
+        sim = self.sim
+        if sim is not None and sim.metrics is not None:
+            sim.metrics.inc("sim/shards/violations")
         if self.strict:
             raise CausalityError(
                 f"event for shard {shard} scheduled at t={when} from "
@@ -539,6 +552,10 @@ class ThreadShardExecutor:
             sim.now = end_now
         eq.compact({s for _, s in drained})
         eq.stats.barrier_events += len(drained)
+        per_shard: Dict[int, int] = {}
+        for _, s in drained:
+            per_shard[s] = per_shard.get(s, 0) + 1
+        eq.stats.count_shards(per_shard)
         if failures:
             failures.sort(key=lambda f: (f[0], f[1]))
             raise failures[0][2]

@@ -7,7 +7,10 @@ Built on the opt-in tracer (:mod:`repro.sim.trace`):
 * :mod:`repro.testing.faults` — seeded fault injectors (NoC jitter, TLB
   pressure, forced preemption) to stress those properties;
 * :mod:`repro.testing.golden` — canonical trace serialization and
-  golden-file conformance for the fig6/fig8 microbenchmarks.
+  golden-file conformance for the fig6/fig8 microbenchmarks;
+* :mod:`repro.testing.chaos` — seeded campaigns composing fault
+  storms with overload bursts over the figS serving topology, judged
+  against SLO floors and the invariant checkers.
 """
 
 from repro.testing.invariants import (
@@ -26,6 +29,15 @@ from repro.testing.faults import (
     NocJitter,
     TlbPressure,
 )
+from repro.testing.chaos import (
+    CampaignResult,
+    ChaosCampaign,
+    Floor,
+    Phase,
+    run_campaign,
+    run_campaigns,
+    standard_campaigns,
+)
 
 __all__ = [
     "ALL_INVARIANTS",
@@ -40,4 +52,11 @@ __all__ = [
     "ForcedPreemption",
     "NocJitter",
     "TlbPressure",
+    "CampaignResult",
+    "ChaosCampaign",
+    "Floor",
+    "Phase",
+    "run_campaign",
+    "run_campaigns",
+    "standard_campaigns",
 ]
