@@ -1,10 +1,15 @@
 #!/usr/bin/env sh
 # Chaos gate: run the seeded fault-storm + overload-burst campaigns
 # (repro chaos) over the figS serving topology, with the invariant
-# checkers online and SLO floors enforced.  The campaign set runs
-# twice — serial and under the 4-way-sharded engine in strict mode —
-# and the verdict output must be byte-identical: the chaos schedule,
-# like everything else, may not depend on engine parallelism.
+# checkers online and SLO floors enforced.  The set includes the
+# m3v-migration-storm campaign (packed skewed layout, EDF mux,
+# controller rebalancer), whose phases additionally require live
+# activity migrations — including evacuating quarantined tiles
+# mid-fault-storm — so the migration path is exercised under chaos,
+# not just in unit tests.  The campaign set runs twice — serial and
+# under the 4-way-sharded engine in strict mode — and the verdict
+# output must be byte-identical: the chaos schedule, like everything
+# else, may not depend on engine parallelism.
 #
 # Usage: scripts/check_chaos.sh [requests-per-gateway-per-phase]
 set -eu

@@ -19,6 +19,7 @@ editing one experiment module, only that figure's points re-run.
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -111,6 +112,11 @@ def main(argv=None) -> int:
                     metrics=args.metrics, profile=args.profile)
 
     results = {}
+    if only is not None and os.path.exists(args.out):
+        # a partial re-run (--only) updates the existing file in place
+        # instead of dropping every figure that was not re-run
+        with open(args.out) as handle:
+            results = json.load(handle)
     t0 = time.time()
 
     def stamp(name):

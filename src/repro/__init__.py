@@ -11,8 +11,8 @@ and EXPERIMENTS.md for paper-vs-measured results.
 Entry points:
 
 * :func:`repro.api.build_system` — assemble any platform through the
-  facade (:func:`repro.core.build_m3v` / ``build_m3x`` remain as
-  deprecated shims);
+  facade (the only construction entry point; the old ``build_m3v``/
+  ``build_m3x`` shims are gone);
 * :mod:`repro.core.exps` — one experiment runner per table/figure;
 * :mod:`repro.linuxsim` — the Linux baseline machine.
 
@@ -28,14 +28,11 @@ if TYPE_CHECKING:  # static-analysis view of the lazy exports
         M3vPlatform,
         M3xPlatform,
         PlatformConfig,
-        build_m3v,
-        build_m3x,
     )
 
 __version__ = "1.1.0"
 
-_LAZY_EXPORTS = ("M3vPlatform", "M3xPlatform", "PlatformConfig",
-                 "build_m3v", "build_m3x")
+_LAZY_EXPORTS = ("M3vPlatform", "M3xPlatform", "PlatformConfig")
 
 __all__ = [*_LAZY_EXPORTS, "__version__"]
 

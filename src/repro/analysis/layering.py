@@ -15,12 +15,21 @@ the ``repro.api`` facade.  Two sub-checks:
 
 ``facade-bypass``
     Experiments, examples, or benchmarks constructing systems through
-    the deprecated builders (``build_m3v``/``build_m3``/``build_m3x``)
-    or by instantiating the platform classes directly instead of going
-    through ``repro.api.build_system``.  The PR 4 deprecation shims
-    made this warn at runtime; this check makes it fail review.
+    the removed legacy builders (``build_m3v``/``build_m3``/
+    ``build_m3x``) or by instantiating the platform classes directly
+    instead of going through ``repro.api.build_system``.  The shims
+    themselves are deleted; the name check stays so stale code fails
+    review with a pointer to the facade, not an AttributeError.
     White-box unit tests under ``tests/`` are exempt — they
     legitimately poke platform internals.
+
+``env-config``
+    A ``repro.*`` module reading a ``REPRO_*`` environment variable
+    directly (``os.environ[...]``, ``os.environ.get``, ``os.getenv``)
+    instead of going through :func:`repro.sim.envcfg.raw`.  Scattered
+    environment reads are how configuration precedence rules rot;
+    ``repro.sim.envcfg`` is the single declared home (and the facade
+    exposes the resolved snapshot as ``repro.api.env_overrides()``).
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ _FACADE_ALLOWED_MODULES = ("repro", "repro.__init__")
 def check(ctx: LintContext) -> Iterator[Finding]:
     yield from _check_upward_imports(ctx)
     yield from _check_facade_bypass(ctx)
+    yield from _check_env_config(ctx)
 
 
 # -- upward-import ------------------------------------------------------------
@@ -160,10 +170,54 @@ def _check_facade_bypass(ctx: LintContext) -> Iterator[Finding]:
                     f"kind=...)) instead")
 
 
+# -- env-config ---------------------------------------------------------------
+
+# The single module allowed to read REPRO_* variables directly.
+_ENV_HOME = "repro.sim.envcfg"
+
+
+def _is_os_environ(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Attribute) and node.attr == "environ"
+            and isinstance(node.value, ast.Name) and node.value.id == "os")
+
+
+def _repro_var(node: ast.expr) -> str:
+    """The REPRO_* name if ``node`` is such a string constant, else ''."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str) \
+            and node.value.startswith("REPRO_"):
+        return node.value
+    return ""
+
+
+def _check_env_config(ctx: LintContext) -> Iterator[Finding]:
+    if not ctx.module.startswith("repro.") or ctx.module == _ENV_HOME:
+        return
+    for node in ast.walk(ctx.tree):
+        var = ""
+        if isinstance(node, ast.Subscript) and _is_os_environ(node.value) \
+                and isinstance(node.ctx, ast.Load):
+            var = _repro_var(node.slice)
+        elif isinstance(node, ast.Call) and node.args:
+            f = node.func
+            if isinstance(f, ast.Attribute) and (
+                    (f.attr == "get" and _is_os_environ(f.value))
+                    or (f.attr == "getenv" and isinstance(f.value, ast.Name)
+                        and f.value.id == "os")):
+                var = _repro_var(node.args[0])
+        if var:
+            yield ctx.finding(
+                RULE_ID, "env-config", node,
+                f"direct read of {var}; all REPRO_* environment "
+                f"access goes through repro.sim.envcfg.raw() so the "
+                f"declared-knob list and precedence rules stay in one "
+                f"place")
+
+
 RULE = Rule(
     id=RULE_ID,
     name="layering",
     description=("upward imports against the package layer order; "
-                 "system construction bypassing the repro.api facade"),
+                 "system construction bypassing the repro.api facade; "
+                 "REPRO_* env reads outside repro.sim.envcfg"),
     checker=check,
 )

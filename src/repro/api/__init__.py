@@ -6,29 +6,37 @@
 >>> system.controller          # delegates to the underlying platform
 >>> system.metrics             # the attached MetricsRegistry
 
-Legacy entry points (``build_m3v``/``build_m3``/``build_m3x``) remain
-as deprecated shims over :func:`build_system`.
+The environment can *default* what a config leaves unset (see
+:func:`env_overrides`), but an explicit ``SystemConfig`` field always
+wins.
 """
 
 from repro.api.config import (
     FaultSpec,
     MetricsSpec,
+    PlacementSpec,
     SYSTEM_KINDS,
+    SchedSpec,
     ServingSpec,
     ShardSpec,
     SystemConfig,
     TraceSpec,
 )
+from repro.api.env import EnvOverrides, env_overrides
 from repro.api.system import System, build_system
 
 __all__ = [
+    "EnvOverrides",
     "FaultSpec",
     "MetricsSpec",
+    "PlacementSpec",
     "SYSTEM_KINDS",
+    "SchedSpec",
     "ServingSpec",
     "ShardSpec",
     "System",
     "SystemConfig",
     "TraceSpec",
     "build_system",
+    "env_overrides",
 ]

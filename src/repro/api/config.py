@@ -15,14 +15,17 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.core.platform import PlatformConfig
 from repro.faults import DEFAULT_DEADLINE_PS
+from repro.kernel.rebalance import PlacementSpec
 from repro.mux.recovery import RecoveryPolicy
+from repro.mux.sched import SchedSpec
 from repro.noc import NocParams
 from repro.tiles import BOOM, CoreCosts, ROCKET
 
 SYSTEM_KINDS = ("m3v", "m3", "m3x", "linux")
 
-__all__ = ["FaultSpec", "MetricsSpec", "SYSTEM_KINDS", "ServingSpec",
-           "ShardSpec", "SystemConfig", "TraceSpec"]
+__all__ = ["FaultSpec", "MetricsSpec", "PlacementSpec", "SYSTEM_KINDS",
+           "SchedSpec", "ServingSpec", "ShardSpec", "SystemConfig",
+           "TraceSpec"]
 
 
 @dataclass(frozen=True)
@@ -141,11 +144,20 @@ class SystemConfig:
     faults: Optional[FaultSpec] = None
     shards: Optional[ShardSpec] = None
     serving: Optional[ServingSpec] = None
+    # TileMux scheduling (m3v/m3 only) and adaptive placement (m3v only)
+    sched: Optional[SchedSpec] = None
+    placement: Optional[PlacementSpec] = None
 
     def __post_init__(self):
         if self.kind not in SYSTEM_KINDS:
             raise ValueError(f"unknown system kind {self.kind!r}; "
                              f"expected one of {SYSTEM_KINDS}")
+        if self.sched is not None and self.kind not in ("m3v", "m3"):
+            raise ValueError(f"sched= requires a TileMux kind (m3v/m3), "
+                             f"not {self.kind!r}")
+        if self.placement is not None and self.kind != "m3v":
+            raise ValueError(f"placement= (live migration) is m3v-only, "
+                             f"not available on {self.kind!r}")
 
     # -- converters -----------------------------------------------------------
 
@@ -164,6 +176,8 @@ class SystemConfig:
             shards=self.shards.n if self.shards is not None else 0,
             shard_policy=(self.shards.policy if self.shards is not None
                           else "block"),
+            sched=self.sched,
+            placement=self.placement,
         )
 
     @classmethod
@@ -172,6 +186,8 @@ class SystemConfig:
                       **layers) -> "SystemConfig":
         """Lift a legacy :class:`PlatformConfig` into a SystemConfig."""
         pc = config or PlatformConfig()
+        layers.setdefault("sched", pc.sched)
+        layers.setdefault("placement", pc.placement)
         return cls(kind=kind,
                    n_proc_tiles=pc.n_proc_tiles,
                    proc_core=pc.proc_core,

@@ -22,6 +22,7 @@ from dataclasses import replace
 from typing import Any, Optional
 
 from repro.api.config import SystemConfig
+from repro.api.env import env_overrides
 from repro.sim import engine
 
 __all__ = ["System", "build_system"]
@@ -86,6 +87,15 @@ def build_system(config: Optional[SystemConfig] = None,
     config = config if config is not None else SystemConfig()
     if overrides:
         config = replace(config, **overrides)
+
+    # Environment layer: REPRO_SCHED defaults the TileMux policy when
+    # the config leaves it unset (explicit config always wins; see
+    # repro.api.env_overrides).
+    env = env_overrides()
+    if env.sched and config.sched is None and config.kind in ("m3v", "m3"):
+        from repro.mux.sched import SchedSpec
+
+        config = replace(config, sched=SchedSpec(policy=env.sched))
 
     # Layers: reuse globally installed defaults; otherwise create from
     # the config's specs and install them only for the construction

@@ -45,7 +45,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.sim import Channel, Simulator, engine
+from repro.sim import Channel, Simulator, engine, envcfg
 
 SCHEMA = "repro-bench/1"
 
@@ -132,7 +132,7 @@ def _fig9_64_sharded() -> None:
 def _handicap_s(name: str) -> float:
     """Synthetic-regression hook: seconds to sleep inside the timed
     region of benchmark ``name`` (see module docstring)."""
-    spec = os.environ.get("REPRO_BENCH_HANDICAP_S", "")
+    spec = envcfg.raw("REPRO_BENCH_HANDICAP_S")
     if not spec:
         return 0.0
     total = 0.0
@@ -194,9 +194,9 @@ def fingerprint() -> Dict[str, Any]:
         "cpus": os.cpu_count(),
         "hashseed": os.environ.get("PYTHONHASHSEED", ""),
         "scheduler": engine.default_scheduler(),
-        "noc_batch": os.environ.get("REPRO_NOC_BATCH", "1"),
-        "shards": os.environ.get("REPRO_SHARDS", ""),
-        "shard_backend": os.environ.get("REPRO_SHARD_BACKEND", ""),
+        "noc_batch": envcfg.raw("REPRO_NOC_BATCH", "1"),
+        "shards": envcfg.raw("REPRO_SHARDS"),
+        "shard_backend": envcfg.raw("REPRO_SHARD_BACKEND"),
     }
 
 

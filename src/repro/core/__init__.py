@@ -11,10 +11,6 @@ from repro.core.platform import (
     M3vPlatform,
     M3xPlatform,
     PlatformConfig,
-    build_m3,
-    build_m3v,
-    build_m3x,
 )
 
-__all__ = ["M3Platform", "M3vPlatform", "M3xPlatform", "PlatformConfig",
-           "build_m3", "build_m3v", "build_m3x"]
+__all__ = ["M3Platform", "M3vPlatform", "M3xPlatform", "PlatformConfig"]

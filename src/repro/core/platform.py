@@ -19,6 +19,8 @@ from repro.kernel.controller import (
     Controller,
     EP_TMUX_PAGER,
 )
+from repro.kernel.rebalance import PlacementSpec, Rebalancer
+from repro.mux.sched import SchedSpec
 from repro.mux.tilemux import TileMux
 from repro.noc import NocFabric, NocParams, StarMeshTopology
 from repro.sim import Simulator
@@ -44,6 +46,10 @@ class PlatformConfig:
     # REPRO_SHARDS overrides at Simulator construction
     shards: int = 0
     shard_policy: str = "block"
+    # TileMux scheduling policy (repro.mux.sched); None = round-robin
+    sched: Optional[SchedSpec] = None
+    # adaptive placement (repro.kernel.rebalance); None = static (off)
+    placement: Optional[PlacementSpec] = None
 
     def with_tiles(self, n: int) -> "PlatformConfig":
         return replace(self, n_proc_tiles=n)
@@ -93,11 +99,14 @@ class M3vPlatform:
             costs = config.core_overrides.get(tid, config.proc_core)
             params = DtuParams.for_clock(costs.clock.period_ps,
                                          **config.dtu_overrides)
+            beacon_us = (config.placement.interval_us
+                         if config.placement is not None else None)
             with self.sim.shard_scope(shard_of(tid)):
                 vdtu = VDtu(self.sim, tid, self.fabric, params=params,
                             stats=self.stats)
                 mux = TileMux(self.sim, tid, vdtu, costs, stats=self.stats,
-                              timeslice_us=config.timeslice_us)
+                              timeslice_us=config.timeslice_us,
+                              sched=config.sched, beacon_us=beacon_us)
             self.tiles[tid] = Tile(tid, TileKind.PROCESSING, costs=costs,
                                    dtu=vdtu, mux=mux)
 
@@ -129,6 +138,18 @@ class M3vPlatform:
         for tid in self.proc_tile_ids:
             with self.sim.shard_scope(shard_of(tid)):
                 self.controller.boot_wire_tile(tid, self.tiles[tid].mux)
+        self._start_rebalancer(shard_of)
+
+    def _start_rebalancer(self, shard_of) -> None:
+        # adaptive placement: a controller-shard process, so every input
+        # it reads (beacon mailbox, quarantine set, placement table) is
+        # shard-local and its decisions are shard-count independent
+        self.rebalancer: Optional[Rebalancer] = None
+        if self.config.placement is not None:
+            with self.sim.shard_scope(shard_of(self.ctrl_tile_id)):
+                self.rebalancer = Rebalancer(self.sim, self.controller,
+                                             self.config.placement,
+                                             self.proc_tile_ids)
 
     # ------------------------------------------------------------ conveniences
 
@@ -169,27 +190,6 @@ class M3vPlatform:
         return self.sim.now / 1e6
 
 
-def _deprecated_build(kind: str, config: Optional[PlatformConfig],
-                      overrides: dict):
-    import warnings
-
-    warnings.warn(
-        f"build_{kind}() is deprecated; use "
-        f"repro.api.build_system(SystemConfig(kind={kind!r}, ...))",
-        DeprecationWarning, stacklevel=3)
-    from repro.api import SystemConfig, build_system
-
-    config = config or PlatformConfig()
-    if overrides:
-        config = replace(config, **overrides)
-    return build_system(SystemConfig.from_platform(kind, config)).platform
-
-
-def build_m3v(config: Optional[PlatformConfig] = None, **overrides) -> M3vPlatform:
-    """Deprecated: use :func:`repro.api.build_system`."""
-    return _deprecated_build("m3v", config, overrides)
-
-
 class M3Platform(M3vPlatform):
     """The original M3 (ASPLOS '16): **no tile multiplexing**.
 
@@ -214,11 +214,6 @@ class M3Platform(M3vPlatform):
             return (yield from orig_spawn(name, tile_id, program, **kwargs))
 
         ctrl.spawn = m3_spawn
-
-
-def build_m3(config: Optional[PlatformConfig] = None, **overrides) -> M3Platform:
-    """Deprecated: use :func:`repro.api.build_system`."""
-    return _deprecated_build("m3", config, overrides)
 
 
 class M3xPlatform(M3vPlatform):
@@ -274,6 +269,8 @@ class M3xPlatform(M3vPlatform):
             self.controller = M3xController(self.sim, self.ctrl_tile_id,
                                             ctrl_dtu, costs=ctrl_costs,
                                             stats=self.stats)
+        # remote multiplexing has no tile-local contexts to live-migrate
+        self.rebalancer = None
 
         for tid in self.mem_tile_ids:
             with self.sim.shard_scope(shard_of(tid)):
@@ -289,8 +286,3 @@ class M3xPlatform(M3vPlatform):
         for tid in self.proc_tile_ids:
             with self.sim.shard_scope(shard_of(tid)):
                 self.controller.boot_wire_tile(tid, self.tiles[tid].mux)
-
-
-def build_m3x(config: Optional[PlatformConfig] = None, **overrides) -> M3xPlatform:
-    """Deprecated: use :func:`repro.api.build_system`."""
-    return _deprecated_build("m3x", config, overrides)

@@ -264,6 +264,22 @@ def shape_checks(results: Dict) -> List[str]:
                 expect(ok_v[both]["p99_us"] < m3x[both]["p99_us"],
                        "figS: M3v tail latency beats M3x under overload")
 
+    if figs and "m3v_static" in figs and "m3v_adapt" in figs:
+        static = {float(k): v for k, v in figs["m3v_static"].items()}
+        adapt = {float(k): v for k, v in figs["m3v_adapt"].items()}
+        for load in sorted(k for k in static
+                           if static[k] is not None
+                           and adapt.get(k) is not None):
+            s, a = static[load], adapt[load]
+            slo = s["tenants"]["gold"]["slo_us"]
+            expect(s["tenants"]["gold"]["p99_us"] > slo,
+                   f"figS: packed static layout breaks gold p99 SLO "
+                   f"under skew @ {load}x")
+            expect(a["tenants"]["gold"]["p99_us"] <= slo,
+                   f"figS: adaptive placement holds gold p99 SLO @ {load}x")
+            expect(a["migrations"] > 0 and s["migrations"] == 0,
+                   f"figS: only the adaptive arm live-migrates @ {load}x")
+
     figr = results.get("figR")
     if figr and "m3v" in figr and "m3x" in figr:
         m3v = {float(k): v for k, v in figr["m3v"].items()}

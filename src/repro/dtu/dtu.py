@@ -29,6 +29,7 @@ from repro.dtu.endpoints import (
     Perm,
     ReceiveEndpoint,
     SendEndpoint,
+    UNLIMITED_CREDITS,
 )
 from repro.dtu.errors import DtuError, DtuFault
 from repro.dtu.message import Message
@@ -73,12 +74,38 @@ class ExtOp(enum.Enum):
     SWAP_EPS = "swap_eps"        # M3x: atomic save-and-invalidate — a
                                  # read/invalidate pair would lose any
                                  # message deposited between the two
+    MIGRATE_EPS = "migrate_eps"  # migration: SWAP_EPS + install holding
+                                 # forward stubs for the drained EP ids
+    RELEASE_FWD = "release_fwd"  # migration: flush held packets, then
+                                 # forward live arrivals immediately
+    RETARGET_EP = "retarget_ep"  # migration: atomically repoint a send EP
+                                 # at a migrated peer (only if all credits
+                                 # are home, i.e. nothing is in flight)
 
 
 @dataclass(slots=True)
 class ExtRequest:
     op: ExtOp
     args: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class _Forward:
+    """A forward stub left behind on an EP id after activity migration.
+
+    While ``holding`` (between MIGRATE_EPS and RELEASE_FWD) rewritten
+    packets are queued here, because the new tile's endpoints are not
+    installed yet; RELEASE_FWD flushes the queue in arrival order and
+    switches to live forwarding.  Stubs for credit-limited send EPs are
+    removed once the peer's RETARGET_EP succeeds; stubs for unlimited-
+    credit EPs may persist (costing one extra hop) since a retarget
+    cannot prove the channel idle.
+    """
+
+    dst_tile: int
+    dst_ep: int
+    holding: bool = True
+    held: List[Packet] = field(default_factory=list)
 
 
 class Dtu:
@@ -116,6 +143,10 @@ class Dtu:
         # the message may have been delivered and its eventual reply
         # returns the credit — returning it locally too would overflow
         self._credit_held: set = set()
+        # migration forward stubs: old EP id -> _Forward.  Empty on every
+        # tile that never sourced a migration, so the `if self._fwd`
+        # guards keep the hot receive path entirely unchanged.
+        self._fwd: Dict[int, _Forward] = {}
         # message-available line towards the attached component (used by the
         # controller and device tiles to sleep instead of polling)
         self.msg_callback = None
@@ -417,6 +448,9 @@ class Dtu:
 
     def _handle_packet(self, pkt: Packet) -> Generator:
         if pkt.kind is PacketKind.MSG:
+            if self._fwd and pkt.payload.dst_ep in self._fwd:
+                self._forward_msg(pkt, self._fwd[pkt.payload.dst_ep])
+                return
             yield from self._handle_msg(pkt)
         elif pkt.kind is PacketKind.ACK:
             if pkt.tag in self._pending:
@@ -524,7 +558,43 @@ class Dtu:
         if error is not DtuError.NONE:
             self.stats.counter(f"dtu/err_{error.value}").add()
 
+    # -- migration forwarding ---------------------------------------------------
+
+    def _forward_msg(self, pkt: Packet, fwd: _Forward) -> None:
+        """Relay a MSG for a migrated EP to its new home.
+
+        The packet keeps its original ``src`` and ``tag``, so the new
+        tile's deposit ACK completes the *sender's* pending transaction
+        directly — the sender observes exactly one outcome per send
+        (exactly-once), it just took an extra hop.  Reply credit returns
+        travel inside the wire message and target an sEP of the same
+        migrated activity, so they are rewritten through the same map.
+        """
+        wire: WireMsg = pkt.payload
+        wire.dst_ep = fwd.dst_ep
+        if wire.credit_return_ep is not None:
+            cr = self._fwd.get(wire.credit_return_ep)
+            if cr is not None:
+                wire.credit_return_ep = cr.dst_ep
+        out = Packet(PacketKind.MSG, src=pkt.src, dst=fwd.dst_tile,
+                     size=pkt.size, payload=wire, tag=pkt.tag)
+        self._dispatch_forward(fwd, out)
+
+    def _dispatch_forward(self, fwd: _Forward, out: Packet) -> None:
+        if fwd.holding:
+            fwd.held.append(out)
+        else:
+            self.fabric.send(out)
+        self.stats.counter("dtu/migr_forwards").add()
+
     def _handle_credit_return(self, ep_id: int) -> None:
+        if self._fwd and ep_id in self._fwd:
+            # tag-less credit-return ACK for a migrated send EP
+            fwd = self._fwd[ep_id]
+            self._dispatch_forward(fwd, Packet(PacketKind.ACK, src=self.tile,
+                                               dst=fwd.dst_tile, size=0,
+                                               payload=fwd.dst_ep))
+            return
         if 0 <= ep_id < len(self.eps):
             ep = self.eps[ep_id]
             if isinstance(ep, SendEndpoint):
@@ -560,6 +630,46 @@ class Dtu:
                       for i in ids}
             for i in ids:
                 self.configure(i, Endpoint())
+        elif req.op is ExtOp.MIGRATE_EPS:
+            ids = req.args["ep_ids"]
+            fwd = req.args["fwd"]  # old EP id -> (new tile, new EP id)
+            yield self.params.ext_cmd_ps * 2 * len(ids)
+            # SWAP_EPS semantics (snapshot + invalidate, no intervening
+            # yield) plus forward stubs installed in the same instant, so
+            # not a single packet can slip between drain and forwarding
+            result = {i: self.eps[i].snapshot()
+                      if self.eps[i].kind is not EndpointKind.INVALID else Endpoint()
+                      for i in ids}
+            for i in ids:
+                self.configure(i, Endpoint())
+            for old_ep, (dst_tile, new_ep) in sorted(fwd.items()):
+                self._fwd[old_ep] = _Forward(dst_tile, new_ep)
+        elif req.op is ExtOp.RELEASE_FWD:
+            ids = req.args["ep_ids"]
+            yield self.params.ext_cmd_ps * len(ids)
+            for i in ids:
+                fwd = self._fwd.get(i)
+                if fwd is not None and fwd.holding:
+                    fwd.holding = False
+                    held, fwd.held = fwd.held, []
+                    for out in held:
+                        self.fabric.send(out)
+        elif req.op is ExtOp.RETARGET_EP:
+            ep_id = req.args["ep_id"]
+            result = False
+            if 0 <= ep_id < len(self.eps):
+                ep = self.eps[ep_id]
+                # succeed only when every credit is home: in-flight
+                # messages (or unreturned credits) could otherwise race
+                # the stub path and reorder at the new tile
+                if (isinstance(ep, SendEndpoint)
+                        and ep.dst_tile == req.args["old_tile"]
+                        and ep.dst_ep == req.args["old_ep"]
+                        and ep.max_credits != UNLIMITED_CREDITS
+                        and ep.credits == ep.max_credits):
+                    ep.dst_tile = req.args["new_tile"]
+                    ep.dst_ep = req.args["new_ep"]
+                    result = True
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown ext op {req.op}")
         self.fabric.send(pkt.response_to(PacketKind.EXT_RESP, payload=result))

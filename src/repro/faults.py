@@ -24,7 +24,7 @@ heap still drains to quiescence.
 
 Usage::
 
-    plat = build_m3v(...)
+    plat = build_system(SystemConfig(kind="m3v", ...))
     enable_recovery(plat)
     plan = HwFaultPlan(seed=7, deadline_ps=2_000_000_000)
     plan.add(LossyLinks(drop=0.05, corrupt=0.02))

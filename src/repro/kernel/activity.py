@@ -127,8 +127,15 @@ class Activity:
     sysc_rep: Optional[int] = None       # receive EP for syscall replies
     # scheduling state
     slice_end: int = 0
+    # advisory scheduling inputs (repro.mux.sched): an EDF deadline set
+    # by the workload layer, lottery tickets, and the autotuned slice
+    deadline_ps: Optional[int] = None
+    tickets: int = 1
+    sched_slice_ps: Optional[int] = None
     # simulation plumbing
     gen: Optional[Generator] = None      # bound program generator
+    api: Any = None                      # ActivityApi bound at CREATE_ACT
+                                         # (rebound on live migration)
     exit_event: Any = None               # sim Event, fires with exit code
     exit_code: Optional[int] = None
     pager_session: Any = None            # session with the pager service

@@ -94,6 +94,7 @@ class Controller:
     EXT_REQ_CY = 120             # issue one external request
     SPAWN_CY = 4000              # image setup, cap bootstrap
     FORWARD_CY = 3500            # M3x slow-path bookkeeping (per message)
+    MIGRATE_CY = 2500            # migration orchestration bookkeeping
 
     def __init__(self, sim, tile_id: int, dtu: Dtu, costs: CoreCosts = ROCKET,
                  stats=None):
@@ -130,6 +131,20 @@ class Controller:
         self.recovery = None
         self.tile_faults: Dict[int, int] = {}
         self.quarantined: set = set()
+
+        # live-migration bookkeeping (repro.kernel.rebalance).  All of
+        # it is plain-Python recording on paths that already run, so the
+        # static-placement default costs no events.  EP ids are
+        # *preserved* across migration — the controller reserves the
+        # same id range on the target tile (and refuses the migration if
+        # the target's allocator already passed it), which keeps every
+        # EP id an activity's program captured at boot valid for life.
+        self._act_tiles: Dict[int, int] = {}     # act -> current tile
+        self._mig_eps: Dict[int, List[int]] = {}  # act -> its EP ids
+        self._links: List[Dict[str, int]] = []   # channel records for
+                                                 # peer send-EP retargets
+        self._pending_retargets: List[Dict[str, Any]] = []
+        self._tile_load: Dict[int, int] = {}     # LOAD beacon mailbox
 
     # ------------------------------------------------------------------ boot
 
@@ -228,8 +243,15 @@ class Controller:
 
     def register_act_ep(self, act: Activity, ep_id: int,
                         endpoint=None, rgate: bool = False) -> None:
-        """Record that ``ep_id`` belongs to ``act`` (M3x needs this to
-        save/restore endpoint sets; a no-op on M3v)."""
+        """Record that ``ep_id`` belongs to ``act`` (M3x overrides this
+        to save/restore endpoint sets; M3v uses it for migration)."""
+        self._record_ep(act.act_id, ep_id)
+
+    def _record_ep(self, act_id: int, ep_id: int) -> None:
+        """Remember an EP id as part of ``act_id``'s migratable set."""
+        eps = self._mig_eps.setdefault(act_id, [])
+        if ep_id not in eps:
+            eps.append(ep_id)
 
     def finalize_eps(self, act: Activity) -> Generator:
         """Hook after boot-time wiring of an activity's endpoints
@@ -306,12 +328,15 @@ class Controller:
             if act is not None:
                 act.state = ActState.EXITED
                 act.exit_code = note.args.get("code", 0)
+                self._act_tiles.pop(act.act_id, None)  # off the migration radar
                 if act.exit_event is not None and not act.exit_event.triggered:
                     act.exit_event.succeed(act.exit_code)
                 self.stats.counter("ctrl/exits").add()
         elif note.kind is TmuxNotify.FAULT:
             self.report_tile_fault(note.args.get("tile", msg.label),
                                    note.args.get("reason", "unknown"))
+        elif note.kind is TmuxNotify.LOAD:
+            self._tile_load[note.args["tile"]] = note.args["depth"]
         yield from self.dtu.cmd_ack(EP_NOTIFY, msg)
 
     # --------------------------------------------------------- tile health
@@ -458,6 +483,11 @@ class Controller:
         else:
             raise SyscallError(f"cannot activate a {cap.kind.value} capability")
         yield from self._install_ep(act, ep_id, endpoint)
+        self._record_ep(caller, ep_id)
+        if cap.kind is CapKind.SGATE and obj.rgate.owner_act is not None:
+            self._links.append({"src_act": caller, "send_ep": ep_id,
+                                "dst_act": obj.rgate.owner_act,
+                                "recv_ep": obj.rgate.ep})
         return ep_id
 
     def _install_ep(self, act: Activity, ep_id: int, endpoint) -> Generator:
@@ -614,6 +644,9 @@ class Controller:
         sep = self.alloc_ep(tile_id)
         rep = self.alloc_ep(tile_id)
         act.sysc_sep, act.sysc_rep = sep, rep
+        self._act_tiles[act.act_id] = tile_id
+        self._record_ep(act.act_id, sep)
+        self._record_ep(act.act_id, rep)
         yield from self.config_ep(tile_id, rep, ReceiveEndpoint(
             act=act.act_id, slots=1, slot_size=256))
         yield from self.config_ep(tile_id, sep, SendEndpoint(
@@ -649,6 +682,11 @@ class Controller:
             act=src_act.act_id, dst_tile=dst_act.tile_id, dst_ep=recv_ep,
             label=label or src_act.act_id, max_msg_size=slot_size,
             credits=credits, max_credits=credits))
+        self._record_ep(dst_act.act_id, recv_ep)
+        self._record_ep(src_act.act_id, reply_ep)
+        self._record_ep(src_act.act_id, send_ep)
+        self._links.append({"src_act": src_act.act_id, "send_ep": send_ep,
+                            "dst_act": dst_act.act_id, "recv_ep": recv_ep})
         return send_ep, recv_ep, reply_ep
 
     def wire_memory(self, act: Activity, mem_tile: int, base: int, size: int,
@@ -659,4 +697,119 @@ class Controller:
             ep_id = self.alloc_ep(act.tile_id)
         yield from self.config_ep(act.tile_id, ep_id, MemoryEndpoint(
             act=act.act_id, dst_tile=mem_tile, base=base, size=size, perm=perm))
+        self._record_ep(act.act_id, ep_id)
         return ep_id
+
+    # ------------------------------------------------------------- migration
+
+    def migrate(self, act_id: int, dst_tile: int) -> Generator:
+        """Live-migrate an activity to ``dst_tile``; returns True on success.
+
+        Protocol (exactly-once and in-order across the move):
+
+        1. ``MIGRATE_OUT`` detaches the activity from its TileMux; the
+           tile-side re-validation is authoritative (running/sleeping
+           activities are refused, nothing has changed on refusal).
+        2. ``MIGRATE_EPS`` atomically snapshots + invalidates the
+           activity's endpoints at the source vDTU *and* installs
+           holding forward stubs in the same instant — no packet can
+           slip between drain and forwarding.
+        3. ``WRITE_EPS`` installs the snapshot at the target (same EP
+           ids), then ``MIGRATE_IN`` hands the context to the target
+           TileMux, which recounts unread messages from the live EP
+           table — a forwarded packet may land between the snapshot
+           and the handoff, so the snapshot's count is only a hint.
+        4. ``RELEASE_FWD`` flushes held packets in arrival order; from
+           here the stubs relay live.  Peers' send EPs are lazily
+           repointed via :meth:`drain_retargets`.
+
+        Refused for service owners (sessions would dangle), pager-backed
+        activities (the pager's frame gate pins the source window), and
+        when the target tile's EP allocator already passed the
+        activity's EP id range.
+        """
+        act = self.acts.get(act_id)
+        src_tile = self._act_tiles.get(act_id)
+        eps = sorted(self._mig_eps.get(act_id, ()))
+        if (act is None or act.state is ActState.EXITED or not eps
+                or src_tile is None or src_tile == dst_tile
+                or dst_tile not in self._tmux_seps
+                or act.pager_session is not None
+                or any(srv.rgate.owner_act == act_id
+                       for srv in self.services.values())
+                or eps[0] < self._ep_alloc[dst_tile]):
+            self.stats.counter("ctrl/migrate_refused").add()
+            return False
+        # Reserve the same EP ids on the target *before* the first yield:
+        # no id translation, so every EP id the program captured at boot
+        # stays valid — and a spawn racing with the MIGRATE_OUT round
+        # trip must not hand out ids inside the incoming range (it would
+        # be silently clobbered by WRITE_EPS).  On refusal the skipped
+        # ids are leaked, which is harmless: the allocator is monotonic
+        # and the table is large.
+        self._ep_alloc[dst_tile] = eps[-1] + 1
+        yield self._charge_ps(self.MIGRATE_CY)
+        try:
+            yield from self.tmux_request(src_tile, TmuxOp.MIGRATE_OUT,
+                                         {"act_id": act_id})
+        except SyscallError:
+            self.stats.counter("ctrl/migrate_refused").add()
+            return False
+        fwd = {ep: (dst_tile, ep) for ep in eps}
+        snap = yield from self._ext(src_tile, ExtOp.MIGRATE_EPS,
+                                    {"ep_ids": eps, "fwd": fwd})
+        msgs = sum(ep.unread for ep in snap.values()
+                   if isinstance(ep, ReceiveEndpoint))
+        yield from self._ext(dst_tile, ExtOp.WRITE_EPS, {"eps": snap})
+        yield from self.tmux_request(dst_tile, TmuxOp.MIGRATE_IN,
+                                     {"activity": act, "msgs": msgs})
+        yield from self._ext(src_tile, ExtOp.RELEASE_FWD, {"ep_ids": eps})
+        self._act_tiles[act_id] = dst_tile
+        for link in self._links:
+            if link["dst_act"] == act_id:
+                self._queue_retarget(link, src_tile, dst_tile)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim, "migrate", tile=self.tile_id, act=act_id,
+                        src=src_tile, dst=dst_tile)
+        self.stats.counter("ctrl/migrations").add()
+        return True
+
+    def _queue_retarget(self, link: Dict[str, int], src_tile: int,
+                        dst_tile: int) -> None:
+        for pend in self._pending_retargets:
+            if pend["link"] is link:
+                # migrated again before the peer caught up: the peer's EP
+                # still points at the *original* location, so keep old_*
+                pend["new_tile"] = dst_tile
+                return
+        self._pending_retargets.append({"link": link, "old_tile": src_tile,
+                                        "new_tile": dst_tile, "tries": 0})
+
+    def drain_retargets(self) -> Generator:
+        """Repoint peers' send EPs at migrated receive EPs.
+
+        A retarget succeeds only when every credit of the peer's send EP
+        is home (nothing in flight, so no reordering); until then the
+        source tile's forward stub keeps the channel correct and we
+        retry on a later tick.  Permanently-busy or unlimited-credit
+        channels keep their stub forever — an extra hop, not an error.
+        """
+        pending, self._pending_retargets = self._pending_retargets, []
+        for pend in pending:
+            link = pend["link"]
+            peer_tile = self._act_tiles.get(link["src_act"])
+            if peer_tile is None:
+                continue  # peer exited; nothing left to repoint
+            ok = yield from self._ext(peer_tile, ExtOp.RETARGET_EP, {
+                "ep_id": link["send_ep"], "old_tile": pend["old_tile"],
+                "old_ep": link["recv_ep"], "new_tile": pend["new_tile"],
+                "new_ep": link["recv_ep"]})
+            if ok:
+                self.stats.counter("ctrl/retargets").add()
+                continue
+            pend["tries"] += 1
+            if pend["tries"] < 64:
+                self._pending_retargets.append(pend)
+            else:
+                self.stats.counter("ctrl/retargets_dropped").add()

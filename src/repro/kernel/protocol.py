@@ -59,6 +59,8 @@ class TmuxOp(enum.Enum):
     UNMAP = "unmap"
     M3X_SAVE = "m3x_save"      # M3x: save the current context's registers
     M3X_RESUME = "m3x_resume"  # M3x: install and run a context
+    MIGRATE_OUT = "migrate_out"  # detach an activity for live migration
+    MIGRATE_IN = "migrate_in"    # adopt a migrated activity
 
 
 @dataclass
@@ -86,6 +88,7 @@ class TmuxNotify(enum.Enum):
     BLOCKED = "blocked"  # M3x: current activity blocked; please schedule
     WAKEUP = "wakeup"    # M3x: a descheduled activity's sleep timer fired
     FAULT = "fault"      # recovery: watchdog/fault report for health tracking
+    LOAD = "load"        # rebalancing: periodic runnable-depth beacon
 
 
 @dataclass

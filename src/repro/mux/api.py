@@ -63,6 +63,21 @@ class ActivityApi:
         self._chans: Dict[Any, Tuple[int, itertools.count]] = {}
         self._jitter_rng = None
 
+    def rebind(self, mux) -> None:
+        """Re-point this api at another tile's multiplexer.
+
+        Live migration moves the activity object (and therefore its
+        bound generator, which closed over this api) to a new tile; the
+        api's mux/vdtu handles must follow.  Recovery channel numbering
+        is deliberately preserved — retransmission sequence spaces are
+        per logical channel, not per tile.
+        """
+        self.mux = mux
+        self.vdtu = mux.vdtu
+        self.sim = mux.sim
+        self.costs = mux.costs
+        self.clock = mux.costs.clock
+
     # ------------------------------------------------- fault recovery plumbing
 
     @property
@@ -357,6 +372,15 @@ class ActivityApi:
         return reply.value
 
     # ------------------------------------------------------------- scheduling
+
+    def set_deadline(self, deadline_ps: Optional[int]) -> None:
+        """Advise the scheduler of this activity's current deadline.
+
+        A plain register write (no trap, no cost): the EDF policy reads
+        it at pick time; every other policy ignores it, so workloads can
+        stamp deadlines unconditionally.  ``None`` clears the deadline.
+        """
+        self.act.deadline_ps = deadline_ps
 
     def block(self) -> Generator:
         """Block until a message arrives for this activity."""

@@ -22,11 +22,10 @@ the vDTU's atomic activity switch before committing to block a context.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Any, Deque, Dict, Generator, Optional
+from typing import Any, Dict, Generator, Optional
 
 from repro.dtu import ACT_INVALID, ACT_TILEMUX, DtuFault, VDtu
-from repro.dtu.endpoints import Perm
+from repro.dtu.endpoints import EndpointKind, Perm
 from repro.kernel.activity import ActState, Activity, PageFault, PAGE_SIZE
 from repro.kernel.protocol import (
     NotifyMsg,
@@ -39,6 +38,7 @@ from repro.kernel.protocol import (
     TmuxReq,
 )
 from repro.mux.api import ActivityApi, TmCall
+from repro.mux.sched import SchedPolicy, SchedSpec, make_policy
 from repro.sim.engine import Event
 from repro.tiles.costs import CoreCosts
 
@@ -58,9 +58,13 @@ class TileMux:
     MAP_BASE_CY = 200        # apply-mapping request overhead
     MAP_PER_PAGE_CY = 30
     EXIT_CY = 400
+    MIGRATE_BASE_CY = 1500   # context pack/unpack overhead
+    MIGRATE_PER_PAGE_CY = 30  # page-table walk per mapped page
 
     def __init__(self, sim, tile_id: int, vdtu: VDtu, costs: CoreCosts,
-                 stats=None, timeslice_us: float = DEFAULT_TIMESLICE_US):
+                 stats=None, timeslice_us: float = DEFAULT_TIMESLICE_US,
+                 sched: Optional[SchedSpec] = None,
+                 beacon_us: Optional[float] = None):
         self.sim = sim
         self.tile_id = tile_id
         self.vdtu = vdtu
@@ -82,7 +86,10 @@ class TileMux:
         # variant exists for the section-3.5 ablation)
         self.api_class = ActivityApi
         self.acts: Dict[int, Activity] = {}
-        self.ready: Deque[Activity] = deque()
+        # the ready queue is a pluggable policy (repro.mux.sched); the
+        # default round-robin behaves exactly like the historical deque
+        self.sched_spec = sched if sched is not None else SchedSpec()
+        self.ready: SchedPolicy = make_policy(self.sched_spec, tile_id)
         self.current: Optional[Activity] = None
         self._last_dispatched: Optional[Activity] = None
         self._own_msgs = 0                     # TileMux's unread counter
@@ -94,8 +101,18 @@ class TileMux:
         # fault-recovery policy (repro.mux.recovery); None = watchdog off
         # and no mux-level retransmission — the fault-free default
         self.recovery = None
+        # load beacon (adaptive placement): off unless a PlacementSpec
+        # asked for it, so the default path schedules no extra events
+        self._beacon_due = False
+        self._beacon_ps = None if beacon_us is None else round(
+            beacon_us * 1_000_000)
+        self._load_gauge = None
         vdtu.irq_handler = self._on_irq
         self._proc = sim.process(self._main_loop(), name=f"tilemux{tile_id}")
+        if self._beacon_ps:
+            self._load_gauge = self.stats.gauge(
+                f"tile{tile_id}/sched/ready_depth")
+            sim.process(self._beacon_timer(), name=f"beacon{tile_id}")
 
     # ----------------------------------------------------------- public hints
 
@@ -138,6 +155,15 @@ class TileMux:
     def _charge(self, cycles: int) -> Generator:
         yield self.clock.cycles_to_ps(cycles)
 
+    def _count_sched(self, name: str) -> None:
+        """Per-policy scheduling counter, mirrored into the metrics
+        registry so ``repro stats`` surfaces it per point."""
+        self.stats.counter(f"tile{self.tile_id}/sched/{name}").add()
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.series_inc(f"tile{self.tile_id}/sched/{name}",
+                               self.sim.now)
+
     def _emit(self, kind: str, **fields) -> None:
         tracer = self.sim.tracer
         if tracer is not None:
@@ -150,6 +176,16 @@ class TileMux:
             if self.vdtu.core_req_pending:
                 yield from self._handle_core_reqs()
                 continue
+            if self._own_msgs > 0:
+                # a controller request landed while CUR_ACT was already
+                # ACT_TILEMUX (e.g. during a beacon/watchdog send): the
+                # same-act deposit raised no core request, the restoring
+                # exchange only recorded the count — service it now or
+                # it strands unread while the tile parks
+                yield from self._service_own_messages()
+                continue
+            if self._beacon_due:
+                yield from self._beacon_report()
             ctx = yield from self._pick()
             if ctx is None:
                 yield from self._idle()
@@ -176,7 +212,7 @@ class TileMux:
                 # so no core request (and hence no IRQ) will ever fire —
                 # parking now would strand the requeued activity forever
                 return
-        if self.vdtu.core_req_pending:
+        if self.vdtu.core_req_pending or self._own_msgs > 0:
             return
         if self._wake.triggered:
             self._wake = self.sim.event()
@@ -224,7 +260,8 @@ class TileMux:
         ctx.msgs = 0  # now live in CUR_ACT
         ctx.state = ActState.RUNNING
         self.current = ctx
-        ctx.slice_end = self.sim.now + self.timeslice_ps
+        ctx.slice_end = self.sim.now + self.ready.slice_ps(ctx,
+                                                           self.timeslice_ps)
         yield self._timer_ps
 
         run_start = self.sim.now
@@ -235,14 +272,26 @@ class TileMux:
             # interrupt window between operations
             if self.vdtu.core_req_pending:
                 yield from self._handle_core_reqs()
+            if self._beacon_due:
+                yield from self._beacon_report()
+            if getattr(ctx, "_migrated", False):
+                # MIGRATE_OUT detached the running activity during the
+                # interrupt window above: stop driving its generator (it
+                # resumes on the target tile via _resume_value)
+                ctx._migrated = False
+                ctx._resume_value = inject_val
+                break
             if self.sim.now >= ctx.slice_end and self.ready:
                 yield self.clock.cycles_to_ps(self.costs.irq_entry
                                         + self.costs.timer_program)
                 ctx.state = ActState.READY
                 ctx._resume_value = inject_val  # re-inject after preemption
                 self.ready.append(ctx)
+                if self.ready.on_preempt(ctx):
+                    self._count_sched("slice_autotune")
                 self._emit("preempt", act=ctx.act_id)
                 self.stats.counter("tilemux/preemptions").add()
+                self._count_sched("preempts")
                 if self.recovery is not None:
                     yield from self._watchdog_tick(ctx)
                 break
@@ -294,6 +343,35 @@ class TileMux:
         except DtuFault:
             self.stats.counter("tilemux/watchdog_notify_dropped").add()
 
+    # ----------------------------------------------------------------- beacon
+
+    def _beacon_timer(self) -> Generator:
+        """Periodically flag a load report; the main/dispatch loop sends it.
+
+        The timer never touches CUR_ACT itself — switching endpoints
+        concurrently with the dispatch loop would corrupt the unread
+        counters — it only raises a flag serviced at the same safe
+        points as core requests (the _watchdog_tick pattern).
+        """
+        while True:
+            yield self._beacon_ps
+            self._beacon_due = True
+            self._on_irq()
+
+    def _beacon_report(self) -> Generator:
+        self._beacon_due = False
+        depth = len(self.ready) + (1 if self.current is not None else 0)
+        self._load_gauge.set(depth, self.sim.now)
+        try:
+            yield from self._send_as_tilemux(
+                EP_TMUX_SEP,
+                NotifyMsg(TmuxNotify.LOAD,
+                          {"tile": self.tile_id, "depth": depth}),
+                NotifyMsg.SIZE)
+        except DtuFault:
+            # best effort, like the watchdog: a stale sample is fine
+            self.stats.counter("tilemux/load_notify_dropped").add()
+
     # ----------------------------------------------------------------- TMCalls
 
     def _tmcall(self, ctx: Activity, call: TmCall) -> Generator:
@@ -314,14 +392,18 @@ class TileMux:
             ctx.state = ActState.BLOCKED
             self._emit("act_block", act=ctx.act_id)
             self._ctr_blocks.add()
+            self._sched_trap(ctx)
             return None, False
         if op == "yield":
             ctx.state = ActState.READY
             self.ready.append(ctx)
+            self._sched_trap(ctx)
             return None, False
         if op == "sleep":
             ctx.state = ActState.BLOCKED
+            ctx._sleeping = True
             self._emit("act_block", act=ctx.act_id)
+            self._sched_trap(ctx)
             deadline = self.sim.now + call.args["ps"]
             self.sim.process(self._wake_after(ctx, deadline),
                              name=f"sleep-{ctx.name}")
@@ -338,8 +420,16 @@ class TileMux:
             return ok, True
         raise RuntimeError(f"unknown TMCall {op!r}")
 
+    def _sched_trap(self, ctx: Activity) -> None:
+        """Tell the policy the activity gave up the core early."""
+        if self.ready.on_trap(ctx):
+            self._count_sched("slice_autotune")
+
     def _wake_after(self, ctx: Activity, deadline: int) -> Generator:
         yield max(0, deadline - self.sim.now)
+        ctx._sleeping = False
+        if self.acts.get(ctx.act_id) is not ctx:
+            return  # exited (or migrated, which MIGRATE_OUT forbids asleep)
         if ctx.state is ActState.BLOCKED:
             ctx.state = ActState.READY
             ctx.msgs = ctx.msgs  # counter untouched; just runnable again
@@ -478,6 +568,7 @@ class TileMux:
             yield self.clock.cycles_to_ps(self.CREATE_ACT_CY)
             act: Activity = req.args["activity"]
             api = self.api_class(self, act)
+            act.api = api  # kept for rebinding on live migration
             act.gen = act.program(api)
             act.state = ActState.READY
             self.acts[act.act_id] = act
@@ -510,6 +601,70 @@ class TileMux:
                 if act in self.ready:
                     self.ready.remove(act)
                 self.vdtu.tlb.invalidate(act.act_id)
+        elif req.op is TmuxOp.MIGRATE_OUT:
+            # tile-side re-validation is authoritative: the controller's
+            # view of our schedule is stale by design (other shard)
+            act = self.acts.get(req.args["act_id"])
+            if act is None:
+                ok, error = False, f"no activity {req.args['act_id']}"
+            elif act is not self.current and act.state not in (
+                    ActState.READY, ActState.BLOCKED):
+                ok, error = False, (f"activity {act.act_id} not migratable "
+                                    f"({act.state.value})")
+            elif getattr(act, "_sleeping", False):
+                ok, error = False, f"activity {act.act_id} is sleeping"
+            else:
+                if act is self.current:
+                    # we are inside this activity's dispatch interrupt
+                    # window (the only place controller requests are
+                    # serviced while it runs), i.e. at an op boundary
+                    # where preemption is legal: detach cooperatively —
+                    # the dispatch loop sees the flag, stashes the
+                    # pending resume value and stops driving the
+                    # generator without requeueing it
+                    act._migrated = True
+                    act.state = ActState.READY
+                # pack the context: registers plus page-table state
+                yield self.clock.cycles_to_ps(
+                    self.MIGRATE_BASE_CY
+                    + self.MIGRATE_PER_PAGE_CY * act.addrspace.mapped_pages)
+                self.acts.pop(act.act_id, None)
+                if act in self.ready:
+                    self.ready.remove(act)
+                if self._last_dispatched is act:
+                    self._last_dispatched = None
+                self.vdtu.tlb.invalidate(act.act_id)
+                self._emit("migrate_out", act=act.act_id)
+                self._count_sched("migrations_out")
+        elif req.op is TmuxOp.MIGRATE_IN:
+            act = req.args["activity"]
+            yield self.clock.cycles_to_ps(
+                self.MIGRATE_BASE_CY
+                + self.MIGRATE_PER_PAGE_CY * act.addrspace.mapped_pages)
+            act.tile_id = self.tile_id
+            if act.api is not None:
+                act.api.rebind(self)
+            # The controller recomputed the unread count from the source
+            # endpoint snapshot, but the EPs went live here (WRITE_EPS)
+            # before this request arrived: a message deposited in that
+            # window raised a core request we dropped (unknown act) and
+            # is missing from the snapshot.  Count unread straight from
+            # the EP table (a privileged tile-local read), minus the
+            # core requests still queued for this act — those drain
+            # after registration and increment the count then.
+            unread = sum(ep.unread for ep in self.vdtu.eps
+                         if ep.kind is EndpointKind.RECEIVE
+                         and ep.act == act.act_id)
+            queued = sum(1 for cr in self.vdtu._core_reqs
+                         if cr.act == act.act_id)
+            act.msgs = max(0, unread - queued)
+            self.acts[act.act_id] = act
+            if act.state is ActState.BLOCKED and act.msgs > 0:
+                act.state = ActState.READY
+            if act.state is ActState.READY and act not in self.ready:
+                self.ready.append(act)
+            self._emit("migrate_in", act=act.act_id)
+            self._count_sched("migrations_in")
         else:
             ok, error = False, f"unknown op {req.op}"
         yield from self.vdtu.cmd_reply(EP_TMUX_REP, msg,

@@ -29,11 +29,10 @@ byte-identical under both.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Generator, Optional, Tuple
 
-from repro.sim import Channel, Event, Simulator
+from repro.sim import Channel, Event, Simulator, envcfg
 from repro.sim.stats import StatRegistry
 from repro.noc.packet import HEADER_BYTES, Packet
 from repro.noc.topology import Topology
@@ -118,7 +117,7 @@ class NocFabric:
         self.params = params or NocParams()
         self.stats = stats or StatRegistry()
         if batch_hops is None:
-            batch_hops = os.environ.get("REPRO_NOC_BATCH", "1") != "0"
+            batch_hops = envcfg.raw("REPRO_NOC_BATCH", "1") != "0"
         self.batch_hops = batch_hops
         # hoisted per-send constants (params is frozen after construction)
         self._hop_ps = self.params.hop_latency_ps

@@ -55,10 +55,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import os
 from contextlib import contextmanager
 from time import perf_counter as _perf_counter
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim import envcfg
 
 # Shard id of unpinned context (mirrors repro.sim.parallel.GLOBAL_SHARD;
 # duplicated as a literal because parallel imports this module).
@@ -233,7 +234,7 @@ class CalendarEventQueue:
 _SCHEDULERS = {"calendar": CalendarEventQueue, "heap": HeapEventQueue}
 
 DEFAULT_SCHEDULER = "calendar"
-_default_scheduler = os.environ.get("REPRO_SCHEDULER", "") or DEFAULT_SCHEDULER
+_default_scheduler = envcfg.raw("REPRO_SCHEDULER") or DEFAULT_SCHEDULER
 
 
 def set_default_scheduler(name: Optional[str]) -> None:
@@ -243,7 +244,7 @@ def set_default_scheduler(name: Optional[str]) -> None:
     """
     global _default_scheduler
     if name is None:
-        name = os.environ.get("REPRO_SCHEDULER", "") or DEFAULT_SCHEDULER
+        name = envcfg.raw("REPRO_SCHEDULER") or DEFAULT_SCHEDULER
     if name not in _SCHEDULERS:
         raise ValueError(f"unknown scheduler {name!r} "
                          f"(choose from {sorted(_SCHEDULERS)})")

@@ -74,11 +74,11 @@ the static shape of the same mistake.
 from __future__ import annotations
 
 import heapq
-import os
 import threading
 from time import perf_counter as _perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.sim import envcfg
 from repro.sim.engine import SimulationError
 
 __all__ = [
@@ -117,7 +117,7 @@ class CausalityError(SimulationError):
 
 def shards_from_env(default: int = 0) -> int:
     """Shard count requested via ``REPRO_SHARDS`` (0 = sharding off)."""
-    raw = os.environ.get("REPRO_SHARDS", "")
+    raw = envcfg.raw("REPRO_SHARDS")
     if not raw:
         return default
     try:
@@ -131,7 +131,7 @@ def shards_from_env(default: int = 0) -> int:
 
 def backend_from_env(default: str = "inline") -> str:
     """Shard executor backend from ``REPRO_SHARD_BACKEND``."""
-    backend = os.environ.get("REPRO_SHARD_BACKEND", "") or default
+    backend = envcfg.raw("REPRO_SHARD_BACKEND") or default
     if backend not in ("inline", "threads"):
         raise SimulationError(
             f"unknown shard backend {backend!r} (choose inline or threads); "
@@ -142,7 +142,7 @@ def backend_from_env(default: str = "inline") -> str:
 
 def strict_from_env(default: bool = False) -> bool:
     """Whether causality violations raise, from ``REPRO_SHARD_STRICT``."""
-    raw = os.environ.get("REPRO_SHARD_STRICT", "")
+    raw = envcfg.raw("REPRO_SHARD_STRICT")
     if not raw:
         return default
     return raw not in ("0", "false", "no")

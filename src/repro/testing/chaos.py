@@ -74,6 +74,16 @@ class Phase:
     system: str = "m3v"
     backend: str = "dtu"
     protection: bool = True
+    # adaptive-placement knobs (defaults reproduce the classic static
+    # spread-out layout byte-identically — see FigSPoint)
+    sched: str = "rr"
+    rebalance: bool = False
+    pack: int = 1
+    skew: float = 0.0
+    # mechanism assertion: fail the phase unless the rebalancer actually
+    # migrated at least this many activities (keeps the migration-storm
+    # campaign from passing vacuously with the rebalancer parked)
+    min_migrations: int = 0
 
 
 @dataclass(frozen=True)
@@ -111,7 +121,8 @@ class CampaignResult:
                 f"{s.get('goodput_rps', 0):7.0f} rps  "
                 f"p99 {s.get('p99_us', 0):8.0f} us  "
                 f"shed {s.get('shed', 0):3d}  "
-                f"failed {s.get('failed', 0):2d}")
+                f"failed {s.get('failed', 0):2d}  "
+                f"mig {s.get('migrations', 0):2d}")
             for problem in ph.problems:
                 lines.append(f"         - {problem}")
         return "\n".join(lines)
@@ -127,6 +138,8 @@ def _run_phase(campaign: ChaosCampaign, index: int,
                    gateways=campaign.gateways,
                    requests=campaign.requests,
                    fault_rate=phase.fault_rate,
+                   sched=phase.sched, rebalance=phase.rebalance,
+                   pack=phase.pack, skew=phase.skew,
                    # phase index folds into the seed so two phases with
                    # the same knobs still see different fault patterns
                    seed=campaign.seed * 1000 + index)
@@ -142,6 +155,9 @@ def _run_phase(campaign: ChaosCampaign, index: int,
         problems.append(f"conservation: {resolved}/{expected} requests "
                         f"resolved exactly once")
     problems += phase.floor.check(res, expected, res["offered_rps"])
+    if res.get("migrations", 0) < phase.min_migrations:
+        problems.append(f"only {res.get('migrations', 0)} live migrations, "
+                        f"phase requires >= {phase.min_migrations}")
     return PhaseResult(phase.label, not problems, problems, res)
 
 
@@ -184,6 +200,24 @@ def standard_campaigns(requests: int = 10) -> List[ChaosCampaign]:
                 Phase("mpmc burst 2.0x, 2% faults", 2.0, 0.02,
                       replace(burst, max_p99_us=60_000.0),
                       backend="mpmc"),
+            ]),
+        ChaosCampaign(
+            name="m3v-migration-storm", requests=requests,
+            phases=[
+                # packed, skewed KV layout with the EDF mux and the
+                # controller rebalancer online: the hot tile must shed
+                # replicas via live migration (min_migrations makes the
+                # gate non-vacuous), and the conversation state has to
+                # survive the moves exactly-once
+                Phase("skewed steady 1.0x, 2% faults", 1.0, 0.02,
+                      survive, sched="edf", rebalance=True,
+                      pack=2, skew=0.8, min_migrations=1),
+                # then a fault storm on the same layout: quarantined
+                # tiles are evacuated mid-storm while requests keep
+                # arriving; only conservation + invariants are floored
+                Phase("storm 1.2x, 8% faults", 1.2, 0.08,
+                      survive, sched="edf", rebalance=True,
+                      pack=2, skew=0.8, min_migrations=1),
             ]),
         ChaosCampaign(
             name="m3x-under-pressure", requests=requests,

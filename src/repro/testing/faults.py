@@ -14,7 +14,7 @@ can run the simulation to quiescence afterwards.
 
 Usage::
 
-    plat = build_m3v(...)
+    plat = build_system(SystemConfig(kind="m3v", ...))
     plan = FaultPlan(seed=7, deadline_ps=2_000_000_000)
     plan.add(NocJitter(prob=0.4))
     plan.add(TlbPressure(capacity=2))

@@ -74,13 +74,21 @@ def open_loop_arrivals(gateway: int, n: int, offered_rps: float,
                        keyspace: int = 4096,
                        clients: int = DEFAULT_CLIENTS,
                        seed: int = 1,
-                       start_ps: int = 0) -> List[Request]:
+                       start_ps: int = 0,
+                       skew: float = 0.0,
+                       skew_mod: int = 1) -> List[Request]:
     """``n`` Poisson arrivals at ``offered_rps`` for one gateway.
 
     Inter-arrival gaps are exponential, rounded to a minimum of one
     integer picosecond; tenants are drawn by weight, keys from one
     Zipfian stream per tenant.  ``uid`` embeds the gateway id so uids
     are globally unique across gateways.
+
+    ``skew`` steers that fraction of requests onto the shard-0 residue
+    class (``key_idx % skew_mod == 0``, with ``skew_mod`` = the
+    deployment's shard count) — the figS hotspot knob.  Zero skew draws
+    nothing extra from the RNG, so default schedules are byte-identical
+    to pre-skew ones.
     """
     if offered_rps <= 0:
         raise ValueError("offered_rps must be positive")
@@ -100,11 +108,14 @@ def open_loop_arrivals(gateway: int, n: int, offered_rps: float,
         tname = rng.choices(names, weights=weights)[0]
         t = by_name[tname]
         op = "get" if rng.random() < t.read_fraction else "put"
+        key_idx = keys[tname].next()
+        if skew > 0.0 and rng.random() < skew:
+            key_idx -= key_idx % skew_mod   # hotspot: primary shard 0
         out.append(Request(
             uid=gateway * 10_000_000 + i,
             tenant=tname,
             client_id=rng.randrange(clients),
-            key_idx=keys[tname].next(),
+            key_idx=key_idx,
             op=op,
             arrival_ps=now,
             deadline_ps=now + int(t.slo_us * 1e6),

@@ -2,14 +2,15 @@
 
 import pytest
 
-from repro.core import PlatformConfig, build_m3v
+from repro.api import SystemConfig, build_system
 from repro.dtu.dtu import Dtu
 from repro.dtu.endpoints import ReceiveEndpoint, SendEndpoint
 from repro.tiles.accelerator import EP_IN, StreamAccelerator
 
 
 def platform_with_accels(n_accels, logics):
-    plat = build_m3v(PlatformConfig(n_proc_tiles=4, n_mem_tiles=1))
+    plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=4,
+                                     n_mem_tiles=1)).platform
     base = max(plat.tiles) + 1
     accels = []
     for i in range(n_accels):

@@ -40,6 +40,7 @@ BAD_FIXTURES = {
     "src/repro/sim/bad_blocking.py": ("REP002", "blocking-call"),
     "src/repro/sim/bad_upward.py": ("REP003", "upward-import"),
     "examples/bad_facade.py": ("REP003", "facade-bypass"),
+    "src/repro/sim/bad_env_read.py": ("REP003", "env-config"),
     "src/repro/sim/bad_cross_shard.py": ("REP004", "foreign-tile-store"),
     "src/repro/sim/bad_active_shard.py": ("REP004", "active-shard"),
     "src/repro/sim/bad_window_protocol.py": ("REP004", "window-protocol"),

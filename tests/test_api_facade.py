@@ -1,7 +1,6 @@
-"""The ``repro.api`` construction facade and its legacy shims."""
+"""The ``repro.api`` construction facade."""
 
 import dataclasses
-import warnings
 
 import pytest
 
@@ -17,9 +16,6 @@ from repro.core.platform import (
     M3vPlatform,
     M3xPlatform,
     PlatformConfig,
-    build_m3,
-    build_m3v,
-    build_m3x,
 )
 from repro.sim import engine
 
@@ -122,15 +118,20 @@ def test_metrics_spec_with_spans_attaches_a_collector():
     assert system.metrics.counter_value("tile0/tilemux/ctx_switches") > 0
 
 
-# -- legacy shims -------------------------------------------------------------
+# -- the legacy builders are gone ---------------------------------------------
 
-@pytest.mark.parametrize("shim,cls", [(build_m3v, M3vPlatform),
-                                      (build_m3, M3Platform),
-                                      (build_m3x, M3xPlatform)])
-def test_shims_warn_and_still_build(shim, cls):
-    with pytest.warns(DeprecationWarning, match="build_system"):
-        plat = shim(PlatformConfig(), n_proc_tiles=2, n_mem_tiles=1)
-    assert type(plat) is cls
+def test_legacy_builders_removed():
+    """The PR-4 ``build_m3v``/``build_m3``/``build_m3x`` shims are
+    deleted; ``build_system`` is the only construction entry point."""
+    import repro
+    import repro.core
+    import repro.core.platform as platform_mod
+
+    for name in ("build_m3v", "build_m3", "build_m3x"):
+        assert not hasattr(platform_mod, name)
+        assert not hasattr(repro.core, name)
+        with pytest.raises(AttributeError):
+            getattr(repro, name)
 
 
 def _rpc_digest(build):
@@ -165,19 +166,17 @@ def _rpc_digest(build):
     return digest(tracer)
 
 
-@pytest.mark.parametrize("kind,shim", [("m3v", build_m3v),
-                                       ("m3x", build_m3x)])
-def test_shim_builds_the_same_system_as_the_facade(kind, shim):
-    def via_shim():
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            return shim(PlatformConfig(), n_proc_tiles=4, n_mem_tiles=1)
+@pytest.mark.parametrize("kind", ["m3v", "m3x"])
+def test_from_platform_builds_the_same_system_as_direct_config(kind):
+    def via_from_platform():
+        pc = PlatformConfig(n_proc_tiles=4, n_mem_tiles=1)
+        return build_system(SystemConfig.from_platform(kind, pc))
 
     def via_facade():
         return build_system(SystemConfig(kind=kind, n_proc_tiles=4,
                                          n_mem_tiles=1))
 
-    assert _rpc_digest(via_shim) == _rpc_digest(via_facade)
+    assert _rpc_digest(via_from_platform) == _rpc_digest(via_facade)
 
 
 # -- metrics must not perturb simulation --------------------------------------

@@ -68,5 +68,5 @@ def test_lazy_package_exports_still_resolve():
     """PEP 562 re-exports keep the legacy surface working."""
     import repro
     assert repro.PlatformConfig is not None
-    assert callable(repro.build_m3v)
+    assert callable(repro.M3vPlatform)
     assert "PlatformConfig" in dir(repro)

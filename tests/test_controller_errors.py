@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import PlatformConfig, build_m3v
+from repro.api import SystemConfig, build_system
 from repro.dtu import Perm
 from repro.kernel.memalloc import OutOfMemory, PhysAllocator, PhysRegion
 from repro.kernel.protocol import Syscall
@@ -10,7 +10,8 @@ from repro.mux.api import RpcError
 
 
 def platform():
-    return build_m3v(PlatformConfig(n_proc_tiles=4, n_mem_tiles=1))
+    return build_system(SystemConfig(kind="m3v", n_proc_tiles=4,
+                                     n_mem_tiles=1)).platform
 
 
 def run_act(plat, prog, tile=0, **kw):

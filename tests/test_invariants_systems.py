@@ -8,7 +8,7 @@ corresponding checker catches it — evidence the suite has teeth.
 
 import pytest
 
-from repro.core import PlatformConfig, build_m3v, build_m3x
+from repro.api import SystemConfig, build_system
 from repro.dtu.dtu import Dtu
 from repro.dtu.vdtu import VDtu
 from repro.sim.trace import capture
@@ -62,7 +62,8 @@ def test_m3v_invariants_under_faults(seed):
     all five checkers stay green (section 3.7's race paths included)."""
     with capture(record=False) as tracer:
         suite = InvariantSuite().attach(tracer)
-        plat = build_m3v(PlatformConfig(), n_proc_tiles=4, n_mem_tiles=1)
+        plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=4,
+                                          n_mem_tiles=1)).platform
         FaultPlan.standard(seed, deadline_ps=3_000_000_000).apply(plat)
         assert _ping_pong(plat, server_tile=2, client_tile=2, rounds=5) == 5
         assert _ping_pong(plat, server_tile=1, client_tile=0, rounds=3) == 3
@@ -80,7 +81,8 @@ def test_m3x_invariants_under_faults(seed):
     tile-local scenario takes the controller slow path (section 2.2)."""
     with capture(record=False) as tracer:
         suite = InvariantSuite().attach(tracer)
-        plat = build_m3x(PlatformConfig(), n_proc_tiles=4, n_mem_tiles=1)
+        plat = build_system(SystemConfig(kind="m3x", n_proc_tiles=4,
+                                          n_mem_tiles=1)).platform
         FaultPlan(seed, deadline_ps=3_000_000_000).add(NocJitter()).apply(plat)
         assert _ping_pong(plat, server_tile=2, client_tile=2, rounds=3) == 3
         assert _ping_pong(plat, server_tile=1, client_tile=0, rounds=3) == 3
@@ -99,8 +101,9 @@ def _paced_remote_stream(seed, n_msgs=10):
     window — the section 3.7 race."""
     with capture(record=False) as tracer:
         suite = InvariantSuite().attach(tracer)
-        plat = build_m3v(PlatformConfig(timeslice_us=50.0),
-                         n_proc_tiles=4, n_mem_tiles=1)
+        plat = build_system(SystemConfig(kind="m3v", timeslice_us=50.0,
+                                          n_proc_tiles=4,
+                                          n_mem_tiles=1)).platform
         FaultPlan.standard(seed, deadline_ps=20_000_000_000).apply(plat)
         env, got = {}, []
 
@@ -154,10 +157,11 @@ def test_queue_overrun_backpressure():
     holding the core, bursts to non-running receivers overrun the queue;
     the deposit stalls (NoC backpressure) instead of dropping, and the
     queue-bound / conservation checkers hold throughout."""
-    config = PlatformConfig(dtu_overrides={"core_req_queue_depth": 1})
+    config = SystemConfig(kind="m3v",
+                          dtu_overrides={"core_req_queue_depth": 1})
     with capture(record=False) as tracer:
         suite = InvariantSuite().attach(tracer)
-        plat = build_m3v(config, n_proc_tiles=4, n_mem_tiles=1)
+        plat = build_system(config, n_proc_tiles=4, n_mem_tiles=1).platform
         FaultPlan(5, deadline_ps=4_000_000_000).add(NocJitter()).apply(plat)
         env, got = {}, {"a": 0, "b": 0}
 
@@ -216,7 +220,8 @@ def test_mutation_ownership_bypass_is_caught(monkeypatch):
     monkeypatch.setattr(VDtu, "_usable_ep", leaky_usable_ep)
     with capture(record=False) as tracer:
         InvariantSuite(checkers=(EndpointOwnership,)).attach(tracer)
-        plat = build_m3v(PlatformConfig(), n_proc_tiles=4, n_mem_tiles=1)
+        plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=4,
+                                          n_mem_tiles=1)).platform
         env = {}
 
         def server(api):
@@ -242,7 +247,8 @@ def test_unmutated_foreign_fetch_is_refused():
     foreign fetch fails with UNKNOWN_EP and no ownership event fires."""
     from repro.dtu import DtuError, DtuFault
 
-    plat = build_m3v(PlatformConfig(), n_proc_tiles=4, n_mem_tiles=1)
+    plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=4,
+                                          n_mem_tiles=1)).platform
     env, seen = {}, {}
 
     def intruder(api):
@@ -284,6 +290,7 @@ def test_mutation_forgotten_cur_act_decrement_is_caught(monkeypatch):
     monkeypatch.setattr(VDtu, "_on_fetch", forgetful_on_fetch)
     with capture(record=False) as tracer:
         InvariantSuite(checkers=(CurActConsistency,)).attach(tracer)
-        plat = build_m3v(PlatformConfig(), n_proc_tiles=4, n_mem_tiles=1)
+        plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=4,
+                                          n_mem_tiles=1)).platform
         with pytest.raises(InvariantViolation, match="cur-act"):
             _ping_pong(plat, server_tile=2, client_tile=2, rounds=3)

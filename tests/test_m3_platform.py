@@ -2,12 +2,13 @@
 
 import pytest
 
-from repro.core import PlatformConfig, build_m3
+from repro.api import SystemConfig, build_system
 from repro.kernel.controller import SyscallError
 
 
 def platform():
-    return build_m3(PlatformConfig(n_proc_tiles=4, n_mem_tiles=1))
+    return build_system(SystemConfig(kind="m3", n_proc_tiles=4,
+                                     n_mem_tiles=1)).platform
 
 
 def test_one_activity_per_tile_enforced():

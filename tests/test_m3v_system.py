@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import PlatformConfig, build_m3v
+from repro.api import SystemConfig, build_system
 from repro.dtu import Perm
 from repro.kernel.protocol import Syscall
 from repro.tiles import BOOM
@@ -11,7 +11,7 @@ from repro.tiles import BOOM
 def small_platform(**kw):
     kw.setdefault("n_proc_tiles", 4)
     kw.setdefault("n_mem_tiles", 1)
-    return build_m3v(PlatformConfig(), **kw)
+    return build_system(SystemConfig(kind="m3v"), **kw).platform
 
 
 def rendezvous(api, env, *keys):

@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.core import PlatformConfig, build_m3v, build_m3x
+from repro.api import SystemConfig, build_system
 
 
 def m3x_platform(**kw):
     kw.setdefault("n_proc_tiles", 4)
     kw.setdefault("n_mem_tiles", 1)
-    return build_m3x(PlatformConfig(), **kw)
+    return build_system(SystemConfig(kind="m3x"), **kw).platform
 
 
 def rendezvous(api, env, *keys):
@@ -85,8 +85,9 @@ def test_m3x_tile_local_rpc_takes_slow_path():
     assert plat.stats.counter_value("m3x/switches") > 0
 
 
-def measure_local_rpc(build, n=10, **kw):
-    plat = build(PlatformConfig(), n_proc_tiles=4, n_mem_tiles=1, **kw)
+def measure_local_rpc(kind, n=10, **kw):
+    plat = build_system(SystemConfig(kind=kind, n_proc_tiles=4,
+                                     n_mem_tiles=1), **kw).platform
     env, out = {}, {}
 
     def server(api):
@@ -119,8 +120,8 @@ def measure_local_rpc(build, n=10, **kw):
 def test_m3x_local_rpc_much_slower_than_m3v():
     """Section 6.2: M3x needs ~27k cycles for a tile-local RPC where
     M3v needs ~5k — the slow path dominates."""
-    m3x = measure_local_rpc(build_m3x)
-    m3v = measure_local_rpc(build_m3v)
+    m3x = measure_local_rpc("m3x")
+    m3v = measure_local_rpc("m3v")
     assert m3x > 3 * m3v
 
 

@@ -1,11 +1,12 @@
 """Tests for the mediated-vDTU ablation (section 3.5)."""
 
-from repro.core import PlatformConfig, build_m3v
+from repro.api import SystemConfig, build_system
 from repro.mux.mediated import MediatedActivityApi
 
 
 def measure_rpc(mediated: bool) -> float:
-    plat = build_m3v(PlatformConfig(n_proc_tiles=4, n_mem_tiles=1))
+    plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=4,
+                                     n_mem_tiles=1)).platform
     if mediated:
         for tid in plat.proc_tile_ids:
             plat.mux(tid).api_class = MediatedActivityApi

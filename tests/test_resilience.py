@@ -19,7 +19,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import PlatformConfig, build_m3v
+from repro.api import SystemConfig, build_system
 from repro.core.exps.figr import FigRPoint, run_figr_point
 from repro.faults import (
     HwFaultPlan,
@@ -73,7 +73,7 @@ def _echo(plat, n_msgs, rtts):
        fault_seed=st.integers(0, 10**6))
 @settings(max_examples=8, deadline=None)
 def test_lossy_delivery_is_exactly_once_in_order(rate, fault_seed):
-    plat = build_m3v(PlatformConfig(), n_proc_tiles=2)
+    plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=2)).platform
     tracer = Tracer(record=False).attach(plat.sim)
     suite = InvariantSuite().attach(tracer)
     enable_recovery(plat, RecoveryPolicy(max_retries=16, seed=fault_seed))
@@ -107,7 +107,7 @@ def test_lossy_delivery_is_exactly_once_in_order(rate, fault_seed):
 
 
 def test_lossy_injector_requires_recovery():
-    plat = build_m3v(PlatformConfig(), n_proc_tiles=2)
+    plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=2)).platform
     with pytest.raises(RuntimeError, match="enable_recovery"):
         HwFaultPlan.lossy("nope", 0.1).apply(plat)
 
@@ -116,7 +116,7 @@ def test_lossy_injector_requires_recovery():
 
 def _echo_trace(with_plan: bool):
     with capture(exclude=("evq_pop",)) as tracer:
-        plat = build_m3v(PlatformConfig(), n_proc_tiles=2)
+        plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=2)).platform
         if with_plan:
             HwFaultPlan.lossy("zero", 0.0).apply(plat)
         rtts = []
@@ -143,7 +143,7 @@ def test_figr_rate_zero_has_no_recovery_activity():
 # -- the individual injectors against a live workload -------------------------
 
 def test_ep_faults_are_ridden_out_by_retries():
-    plat = build_m3v(PlatformConfig(), n_proc_tiles=2)
+    plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=2)).platform
     enable_recovery(plat, RecoveryPolicy(seed=3))
     plan = HwFaultPlan(seed=3)
     plan.add(TransientEpFaults(mean_gap_ps=40_000_000,
@@ -158,7 +158,7 @@ def test_ep_faults_are_ridden_out_by_retries():
 
 
 def test_stuck_tile_episodes_are_survived():
-    plat = build_m3v(PlatformConfig(), n_proc_tiles=2)
+    plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=2)).platform
     enable_recovery(plat, RecoveryPolicy(seed=5))
     plan = HwFaultPlan(seed=5)
     plan.add(StuckTile(mean_gap_ps=150_000_000, stall_ps=40_000_000))
@@ -171,7 +171,7 @@ def test_stuck_tile_episodes_are_survived():
 
 
 def test_corruption_is_detected_and_retransmitted():
-    plat = build_m3v(PlatformConfig(), n_proc_tiles=2)
+    plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=2)).platform
     enable_recovery(plat, RecoveryPolicy(max_retries=16, seed=11))
     plan = HwFaultPlan(seed=11)
     plan.add(LossyLinks(drop=0.0, corrupt=0.2))
@@ -187,7 +187,8 @@ def test_corruption_is_detected_and_retransmitted():
 # -- degraded mode: watchdog and quarantine -----------------------------------
 
 def test_watchdog_reports_a_spinning_activity():
-    plat = build_m3v(PlatformConfig(timeslice_us=20.0), n_proc_tiles=2)
+    plat = build_system(SystemConfig(kind="m3v", timeslice_us=20.0,
+                                     n_proc_tiles=2)).platform
     enable_recovery(plat, RecoveryPolicy(watchdog_slices=4))
 
     def spinner(api):
@@ -207,7 +208,7 @@ def test_watchdog_reports_a_spinning_activity():
 
 
 def test_repeated_faults_quarantine_a_tile_and_steer_spawns():
-    plat = build_m3v(PlatformConfig(), n_proc_tiles=3)
+    plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=3)).platform
     enable_recovery(plat, RecoveryPolicy(quarantine_faults=3))
     ctrl = plat.controller
     for _ in range(3):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import PlatformConfig, build_m3v
+from repro.api import SystemConfig, build_system
 from repro.services.boot import (
     boot_m3fs,
     boot_net,
@@ -16,7 +16,7 @@ from repro.services.m3fs import FsClient, O_CREAT, O_RDONLY, O_WRONLY
 def platform(**kw):
     kw.setdefault("n_proc_tiles", 4)
     kw.setdefault("n_mem_tiles", 1)
-    return build_m3v(PlatformConfig(), **kw)
+    return build_system(SystemConfig(kind="m3v"), **kw).platform
 
 
 def run_client(plat, tile, body, fs=None, net=None, **spawn_kw):

@@ -19,7 +19,7 @@ Five layers:
 import pytest
 
 from repro.api import ServingSpec, SystemConfig, build_system
-from repro.core import PlatformConfig, build_m3x
+from repro.api import SystemConfig, build_system
 from repro.core.exps.figs import FigSParams, FigSPoint, figs_points, \
     reduce_figs, run_figs_point
 from repro.core.report import shape_checks
@@ -183,9 +183,8 @@ def test_build_system_attaches_stack_only_when_asked():
 # -- Virtual-Link MPMC queue --------------------------------------------------
 
 def _vlq_platform():
-    from repro.core import build_m3v
-
-    return build_m3v(PlatformConfig(), n_proc_tiles=3, n_mem_tiles=1)
+    return build_system(SystemConfig(kind="m3v", n_proc_tiles=3,
+                                     n_mem_tiles=1)).platform
 
 
 def test_vlq_fifo_and_shared_capacity():
@@ -297,9 +296,18 @@ def test_figs_points_cover_all_arms():
                    ablation_loads=[2.0], backend_loads=[2.0])
     pts = figs_points(p)
     arms = reduce_figs(p, [{"marker": i} for i in range(len(pts))])
-    assert set(arms) == {"m3v", "m3x", "m3v_noprot", "m3v_mpmc"}
+    assert set(arms) == {"m3v", "m3x", "m3v_noprot", "m3v_mpmc",
+                         "m3v_static", "m3v_adapt"}
     assert set(arms["m3v"]) == {0.5, 2.0}
     assert set(arms["m3v_noprot"]) == {2.0}
+    # the adaptive pair differs only in scheduling/placement: same packed
+    # layout, same skew, same (pinned) request count on both sides
+    pairs = {pt.rebalance: pt for pt in pts if pt.pack != 1}
+    assert set(pairs) == {False, True}
+    st, ad = pairs[False], pairs[True]
+    assert (st.pack, st.skew, st.requests) == (ad.pack, ad.skew, ad.requests)
+    assert st.requests == p.adaptive_requests
+    assert (st.sched, ad.sched) == ("rr", "edf")
 
 
 def test_figs_shape_checks_accept_good_curve_and_catch_collapse():
@@ -319,6 +327,36 @@ def test_figs_shape_checks_accept_good_curve_and_catch_collapse():
     }}
     failures = [f for f in shape_checks(collapsed) if "figS" in f]
     assert len(failures) == 4          # all four figS claims violated
+
+
+def test_figs_shape_checks_enforce_adaptive_gap():
+    def row(gold_p99, migrations):
+        return {"migrations": migrations,
+                "tenants": {"gold": {"slo_us": 10_000.0,
+                                     "p99_us": gold_p99}}}
+
+    good = {"figS": {
+        "m3v_static": {"1.1": row(11_300.0, 0)},
+        "m3v_adapt": {"1.1": row(9_500.0, 7)},
+    }}
+    assert shape_checks(good) == []
+
+    # adaptive arm misses the SLO and never migrates: both claims fire
+    broken = {"figS": {
+        "m3v_static": {"1.1": row(11_300.0, 0)},
+        "m3v_adapt": {"1.1": row(12_000.0, 0)},
+    }}
+    failures = shape_checks(broken)
+    assert len(failures) == 2
+    assert any("adaptive placement holds" in f for f in failures)
+    assert any("live-migrates" in f for f in failures)
+
+    # static arm inside SLO means the scenario shows no gap at all
+    no_gap = {"figS": {
+        "m3v_static": {"1.1": row(8_000.0, 0)},
+        "m3v_adapt": {"1.1": row(7_500.0, 5)},
+    }}
+    assert any("breaks gold p99 SLO" in f for f in shape_checks(no_gap))
 
 
 # -- chaos harness ------------------------------------------------------------
@@ -352,6 +390,18 @@ def test_chaos_campaign_passes_and_fails_deterministically():
     assert again.phases[0].stats == ok.phases[0].stats
 
 
+def test_chaos_min_migrations_guards_against_vacuous_pass():
+    # a phase that demands live migrations must fail when the
+    # rebalancer is off — the migration-storm campaign cannot pass
+    # with the mechanism parked
+    res = run_campaign(ChaosCampaign(
+        name="static",
+        phases=[Phase("p", 1.0, 0.02, Floor(), min_migrations=1)],
+        requests=4, kv_shards=2, gateways=2))
+    assert not res.ok
+    assert any("live migrations" in p for p in res.phases[0].problems)
+
+
 # -- scheduler regressions (bugs fixed by this PR) ----------------------------
 
 def test_m3v_sleepers_survive_overload_fanin():
@@ -371,7 +421,8 @@ def test_m3x_descheduled_sleeper_timer_wakes_via_controller():
     controller.  The WAKEUP notify + post-save requeue keep it
     schedulable; the run must terminate and the new notify counters
     must tick."""
-    plat = build_m3x(PlatformConfig(), n_proc_tiles=2, n_mem_tiles=1)
+    plat = build_system(SystemConfig(kind="m3x", n_proc_tiles=2,
+                                     n_mem_tiles=1)).platform
     order = []
 
     def napper(api):

@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro.core import PlatformConfig, build_m3v
+from repro.api import SystemConfig, build_system
 from repro.kernel.activity import ActState
 
 
 def platform(**kw):
     kw.setdefault("n_proc_tiles", 4)
     kw.setdefault("n_mem_tiles", 1)
-    return build_m3v(PlatformConfig(), **kw)
+    return build_system(SystemConfig(kind="m3v"), **kw).platform
 
 
 def rendezvous(api, env, *keys):

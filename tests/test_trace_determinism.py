@@ -13,7 +13,7 @@ Three layers:
 
 import pytest
 
-from repro.core import PlatformConfig, build_m3v
+from repro.api import SystemConfig, build_system
 from repro.sim.trace import capture
 from repro.testing.faults import FaultPlan
 from repro.testing.golden import (
@@ -122,7 +122,8 @@ def _ping_pong(plat, server_tile, client_tile, rounds=4):
 
 def _faulted_local_ping_pong(seed):
     with capture() as tracer:
-        plat = build_m3v(PlatformConfig(), n_proc_tiles=4, n_mem_tiles=1)
+        plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=4,
+                                        n_mem_tiles=1)).platform
         FaultPlan.standard(seed, deadline_ps=3_000_000_000).apply(plat)
         value = _ping_pong(plat, server_tile=2, client_tile=2, rounds=4)
         plat.sim.run()  # drain, so traces end at quiescence
@@ -144,7 +145,8 @@ def test_different_fault_seeds_perturb_the_schedule():
 def test_invariants_hold_under_fault_seeds(seed):
     with capture(record=False) as tracer:
         suite = InvariantSuite().attach(tracer)
-        plat = build_m3v(PlatformConfig(), n_proc_tiles=4, n_mem_tiles=1)
+        plat = build_system(SystemConfig(kind="m3v", n_proc_tiles=4,
+                                        n_mem_tiles=1)).platform
         FaultPlan.standard(seed, deadline_ps=3_000_000_000).apply(plat)
         assert _ping_pong(plat, server_tile=2, client_tile=2, rounds=4) == 4
         assert _ping_pong(plat, server_tile=1, client_tile=0, rounds=3) == 3
